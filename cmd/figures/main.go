@@ -1,0 +1,81 @@
+// Command figures runs the measurement campaign and regenerates the
+// study's figures (3-14 and the appendix series) as SAS-style text
+// charts.
+//
+// Usage:
+//
+//	figures [-scale quick|paper] [-only NAME]
+//
+// -only selects a single figure by name (e.g. "6", "12", "B.3").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+var figureFns = []struct {
+	Name string
+	Fn   func(*core.Study) string
+}{
+	{"3", experiments.Figure3},
+	{"4", experiments.Figure4},
+	{"5", experiments.Figure5},
+	{"6", experiments.Figure6},
+	{"7", experiments.Figure7},
+	{"8", experiments.Figure8},
+	{"9", experiments.Figure9},
+	{"10", experiments.Figure10},
+	{"11", experiments.Figure11},
+	{"12", experiments.Figure12},
+	{"13", experiments.Figure13},
+	{"14", experiments.Figure14},
+	{"A.1", experiments.FigureA1A2},
+	{"A.3", experiments.FigureA3},
+	{"A.4", experiments.FigureA4},
+	{"A.5", experiments.FigureA5},
+	{"B.1", experiments.FigureB1},
+	{"B.2", experiments.FigureB2},
+	{"B.3", experiments.FigureB3},
+	{"B.4", experiments.FigureB4},
+	{"B.5", experiments.FigureB5},
+	{"B.6", experiments.FigureB6},
+	{"B.7", experiments.FigureB7},
+	{"B.8", experiments.FigureB8},
+	{"B.9", experiments.FigureB9},
+	{"B.10", experiments.FigureB10},
+}
+
+func main() {
+	scale := flag.String("scale", "quick", "campaign scale: quick or paper")
+	only := flag.String("only", "", "render a single figure by name")
+	flag.Parse()
+
+	var cfg core.StudyConfig
+	switch *scale {
+	case "quick":
+		cfg = core.QuickScale()
+	case "paper":
+		cfg = core.PaperScale()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	st := core.RunStudy(cfg)
+
+	if *only != "" {
+		for _, f := range figureFns {
+			if f.Name == *only {
+				fmt.Println(f.Fn(st))
+				return
+			}
+		}
+		log.Fatalf("unknown figure %q", *only)
+	}
+	for _, f := range figureFns {
+		fmt.Println(f.Fn(st))
+	}
+}

@@ -1,0 +1,56 @@
+// Command fxrun assembles an fxasm program and profiles it on the
+// simulated machine: the per-program evaluation of the study's future
+// work, driven from a textual program.
+//
+// Usage:
+//
+//	fxrun [-cluster N] [-limit N] program.fxasm
+//	echo "compute 100" | fxrun
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/fx8"
+	"repro/internal/fxasm"
+)
+
+func main() {
+	cluster := flag.Int("cluster", 8, "cluster resource class (1..8 CEs)")
+	limit := flag.Int("limit", 50_000_000, "cycle budget")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	name := "(stdin)"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		src = f
+		name = flag.Arg(0)
+	}
+	prog, err := fxasm.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prof := core.ProfileProgram(fx8.DefaultConfig(), prog.Stream(), *cluster, *limit)
+	fmt.Printf("%s on a %d-CE cluster:\n", name, *cluster)
+	fmt.Printf("  completed:        %v\n", prof.Completed)
+	fmt.Printf("  cycles:           %d\n", prof.Cycles)
+	fmt.Printf("  loops/iterations: %d / %d\n", prof.LoopCount, prof.Iterations)
+	fmt.Printf("  Cw:               %.3f\n", prof.Conc.Cw)
+	if prof.Conc.Defined {
+		fmt.Printf("  Pc:               %.2f\n", prof.Conc.Pc)
+	}
+	fmt.Printf("  CE bus busy:      %.3f\n", prof.BusBusy)
+	fmt.Printf("  missrate:         %.4f\n", prof.MissRate)
+	fmt.Printf("  page faults:      %d\n", prof.PageFaults)
+}

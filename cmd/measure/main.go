@@ -1,0 +1,75 @@
+// Command measure runs one measurement session against a freshly
+// booted machine — random workload sampling or a triggered capture —
+// and prints the reduced event counts and concurrency measures, as the
+// study's measurement control scripts did.
+//
+// Usage:
+//
+//	measure [-mode random|all8|transition] [-seed N] [-samples N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/monitor"
+)
+
+func main() {
+	mode := flag.String("mode", "random", "session mode: random, all8 or transition")
+	seed := flag.Uint64("seed", 1987, "session workload seed")
+	samples := flag.Int("samples", 20, "samples to collect")
+	wave := flag.Int("wave", 0, "render the first N records of the first buffer as a waveform")
+	flag.Parse()
+
+	switch *mode {
+	case "random":
+		spec := core.DefaultSessionSpec(*seed)
+		spec.Samples = *samples
+		ses := core.RunRandomSession(1, spec)
+		fmt.Printf("random session: %d samples, %d records\n\n",
+			len(ses.Samples), ses.Total.Records)
+		fmt.Println(experiments.Table1(ses.Total))
+		m := core.MeasuresFromCounts(ses.Total)
+		fmt.Printf("Cw = %.4f", m.Cw)
+		if m.Defined {
+			fmt.Printf("   Pc = %.2f", m.Pc)
+		}
+		fmt.Printf("   BusBusy = %.4f   Missrate = %.5f   PageFaults = %d\n",
+			ses.Total.BusBusy(), ses.Total.MissRate(), ses.TotalFaults)
+
+	case "all8", "transition":
+		trigger := monitor.TriggerAll8
+		if *mode == "transition" {
+			trigger = monitor.TriggerTransition
+		}
+		spec := core.DefaultTriggeredSpec(trigger, *seed)
+		spec.Samples = *samples
+		ts := core.RunTriggeredSession(1, spec)
+		fmt.Printf("%s session: %d buffers captured, %d timeouts\n\n",
+			trigger, len(ts.Buffers), ts.Timeouts)
+		fmt.Println(experiments.Table1(ts.Total))
+		if *wave > 0 && len(ts.Buffers) > 0 {
+			n := *wave
+			if n > len(ts.Buffers[0]) {
+				n = len(ts.Buffers[0])
+			}
+			fmt.Println(monitor.Waveform(ts.Buffers[0][:n], 100))
+		}
+		if trigger == monitor.TriggerTransition {
+			st := core.AnalyzeTransitions(ts.Buffers)
+			fmt.Println("Transition-state shares:")
+			for j := 7; j >= 2; j-- {
+				fmt.Printf("  %d active: %.1f%%\n", j, 100*st.TransitionShare(j))
+			}
+			a, b := st.DominantPair()
+			fmt.Printf("Dominant processors during transitions: CE %d and CE %d\n", a, b)
+		}
+
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}

@@ -1,0 +1,51 @@
+// Command models runs the measurement campaign and prints the section
+// 5.2 model-building internals: the median points on each concurrency
+// grid and the fitted second-order models, for all three system
+// measures.
+//
+// Usage:
+//
+//	models [-scale quick|paper]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sas"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "campaign scale: quick or paper")
+	flag.Parse()
+
+	var cfg core.StudyConfig
+	switch *scale {
+	case "quick":
+		cfg = core.QuickScale()
+	case "paper":
+		cfg = core.PaperScale()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	st := core.RunStudy(cfg)
+
+	dump := func(axis string, models [core.NumSystemMeasures]core.Model) {
+		for _, m := range models {
+			fmt.Printf("%s vs %s:\n", m.Measure, axis)
+			if m.Err != nil {
+				fmt.Printf("  fit failed: %v\n\n", m.Err)
+				continue
+			}
+			for _, p := range m.Points {
+				fmt.Printf("  %s=%-5.2f median=%-12.5g n=%d\n", axis, p.X, p.Y, p.N)
+			}
+			fmt.Printf("  model: y = %s*x + %s*x^2 + %s   R2=%.3f\n\n",
+				sas.Sci(m.Fit.B1), sas.Sci(m.Fit.B2), sas.Sci(m.Fit.C), m.Fit.R2)
+		}
+	}
+	dump("Cw", st.Models.VsCw)
+	dump("Pc", st.Models.VsPc)
+}

@@ -1,0 +1,49 @@
+// Command report runs the full measurement campaign and writes the
+// complete reproduction report — every table and figure in paper
+// order plus the paper-vs-measured headline — to stdout or a file.
+//
+// Usage:
+//
+//	report [-scale quick|paper] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "paper", "campaign scale: quick or paper")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var cfg core.StudyConfig
+	switch *scale {
+	case "quick":
+		cfg = core.QuickScale()
+	case "paper":
+		cfg = core.PaperScale()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	start := time.Now()
+	st := core.RunStudy(cfg)
+	report := fmt.Sprintf("Reproduction report (scale=%s, %v)\n\n%s",
+		*scale, time.Since(start).Round(time.Millisecond), experiments.FullReport(st))
+
+	if *out == "" {
+		fmt.Print(report)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("report written to %s\n", *out)
+}

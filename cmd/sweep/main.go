@@ -1,0 +1,43 @@
+// Command sweep runs the measurement pipeline across configuration
+// parameters — the study's proposed extensions: scheduling quantum
+// (software-level parameter), shared cache size, and CE count
+// (FX/1-FX/8 configurations).
+//
+// Usage:
+//
+//	sweep [-kind sched|cache|ce] [-seed N] [-samples N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	kind := flag.String("kind", "sched", "sweep kind: sched, cache or ce")
+	seed := flag.Uint64("seed", 1987, "workload seed")
+	samples := flag.Int("samples", 12, "samples per configuration")
+	flag.Parse()
+
+	switch *kind {
+	case "sched":
+		pts := experiments.SchedulerSweep(
+			[]int{10_000, 30_000, 100_000, 300_000, 1_000_000}, *seed, *samples)
+		fmt.Println(experiments.SweepTable(
+			"Concurrency measures vs. scheduling quantum.", pts))
+	case "cache":
+		pts := experiments.CacheSweep(
+			[]int{32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10}, *seed, *samples)
+		fmt.Println(experiments.SweepTable(
+			"System measures vs. shared cache size.", pts))
+	case "ce":
+		pts := experiments.CESweep([]int{1, 2, 4, 8}, *seed, *samples)
+		fmt.Println(experiments.SweepTable(
+			"Workload measures vs. CE count (FX/1..FX/8).", pts))
+	default:
+		log.Fatalf("unknown sweep kind %q", *kind)
+	}
+}

@@ -1,0 +1,46 @@
+// Command tables runs the measurement campaign and regenerates the
+// study's Tables 1, 2, 3, 4 and A.1, plus the paper-vs-measured
+// headline summary.
+//
+// Usage:
+//
+//	tables [-scale quick|paper]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "campaign scale: quick or paper")
+	flag.Parse()
+
+	var cfg core.StudyConfig
+	switch *scale {
+	case "quick":
+		cfg = core.QuickScale()
+	case "paper":
+		cfg = core.PaperScale()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	start := time.Now()
+	st := core.RunStudy(cfg)
+	fmt.Printf("campaign complete in %v: %d random, %d all-8, %d transition sessions\n\n",
+		time.Since(start).Round(time.Millisecond),
+		len(st.Random), len(st.HighConc), len(st.Transition))
+
+	fmt.Println(experiments.Table1(st.Overall))
+	fmt.Println(experiments.Table2(st))
+	fmt.Println(experiments.Table3(st))
+	fmt.Println(experiments.Table4(st))
+	fmt.Println(experiments.TableA1(st))
+	fmt.Println(experiments.Headline(st))
+}

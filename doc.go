@@ -1,0 +1,14 @@
+// Package repro reproduces Patrick J. McGuire's "A Measurement-Based
+// Study of Concurrency in a Multiprocessor" (University of Illinois /
+// NASA CR-180318, 1987): a simulated Alliant FX/8 Computational
+// Cluster (internal/fx8), a Concentrix-like operating system layer
+// (internal/concentrix), a synthetic CSRD-style production workload
+// (internal/workload), DAS 9100-class hardware monitoring
+// (internal/monitor), the study's concurrency-measurement methodology
+// (internal/core), and SAS-style analysis rendering (internal/sas,
+// internal/experiments).
+//
+// The root package holds the benchmark harness: one benchmark per
+// table and figure of the paper's evaluation, plus ablation benchmarks
+// for the design choices documented in DESIGN.md.
+package repro

@@ -1,0 +1,28 @@
+// Program profile: the study's proposed future work — apply the
+// workload-level concurrency measures at the scope of an individual
+// program, characterizing its behaviour within the workload
+// environment (conclusion, chapter 6).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	layout := workload.KernelLayout{Base: 0x800000, CodeBase: 0x10000, Seed: 3}
+
+	fmt.Print(experiments.ProgramProfileReport("DAXPY n=8192",
+		workload.KernelProgram(workload.DAXPY(8192, layout), layout), 8))
+	fmt.Println()
+	fmt.Print(experiments.ProgramProfileReport("Solver sweep n=128 dist=4",
+		workload.KernelProgram(workload.SolverSweep(128, 4, layout), layout), 8))
+	fmt.Println()
+
+	// A generated production job, profiled in isolation.
+	gen := workload.NewGenerator(workload.PaperMix(11))
+	job, _ := gen.Job(workload.KindNumeric)
+	fmt.Print(experiments.ProgramProfileReport(job.Name, job.Serial, job.ClusterSize))
+}

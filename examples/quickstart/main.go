@@ -1,0 +1,69 @@
+// Quickstart: boot a simulated FX/8, run a tiny program with one
+// concurrent loop, and compute the study's concurrency measures from
+// monitor records.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/concentrix"
+	"repro/internal/core"
+	"repro/internal/fx8"
+	"repro/internal/monitor"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. Boot the machine: an 8-CE cluster with the measured FX/8's
+	//    caches and buses, under a Concentrix-like OS.
+	cl := fx8.New(fx8.DefaultConfig())
+	sys := concentrix.NewSystem(cl, concentrix.DefaultSysConfig())
+
+	// 2. Build a program: serial setup, one concurrent DO loop over
+	//    66 iterations (8*8+2 — note the two leftover iterations),
+	//    then a serial tail.
+	loop := workload.NewLoop(workload.LoopParams{
+		Trips:             66,
+		ChunksMean:        4,
+		VecLen:            32,
+		ReuseBase:         0x100000,
+		ReuseBytes:        64 << 10,
+		FreshBase:         0x200000,
+		FreshBytesPerIter: 512,
+		VComputeCycles:    40,
+		ScalarCycles:      16,
+		CodeBase:          0x3000,
+		Seed:              42,
+	})
+	serial := &fx8.ConcatStream{Streams: []fx8.Stream{
+		workload.NewSerialPhase(workload.SerialParams{
+			Instrs: 2000, MemProb: 0.25, WSBase: 0x10000, Seed: 1,
+		}),
+		&fx8.SliceStream{Instrs: []fx8.Instr{workload.CStart(loop, 0x2000)}},
+		workload.NewSerialPhase(workload.SerialParams{
+			Instrs: 2000, MemProb: 0.25, WSBase: 0x10000, Seed: 2,
+		}),
+	}}
+	sys.Submit(&concentrix.Process{PID: 1, Name: "quickstart", ClusterSize: 8, Serial: serial})
+
+	// 3. Attach the logic analyzer and record the whole run.
+	var counts monitor.EventCounts
+	for i := 0; i < 200_000 && !sys.Drained(); i++ {
+		sys.Step()
+		counts.AddRecord(cl.Snapshot())
+	}
+
+	// 4. Compute the measures of equations 4.1-4.4.
+	m := core.MeasuresFromCounts(counts)
+	fmt.Println("Quickstart: one job with a 66-trip concurrent loop")
+	fmt.Printf("  records observed:        %d\n", counts.Records)
+	fmt.Printf("  Workload Concurrency Cw: %.3f\n", m.Cw)
+	if m.Defined {
+		fmt.Printf("  Mean Concurrency Pc:     %.2f\n", m.Pc)
+		fmt.Printf("  c_8|c:                   %.3f\n", m.CCond[8])
+	}
+	fmt.Printf("  CE Bus Busy:             %.3f\n", counts.BusBusy())
+	fmt.Printf("  Missrate:                %.4f\n", counts.MissRate())
+	fmt.Printf("  page faults:             %d\n", sys.Kernel.PageFaults())
+	fmt.Printf("  loop iterations run:     %d\n", cl.CCBus().IterationsRun)
+}

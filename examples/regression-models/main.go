@@ -1,0 +1,36 @@
+// Regression models: reproduce chapter 5 — combine random and
+// high-concurrency samples, median-bin the system measures against the
+// concurrency measures, fit the second-order models of Tables 3 and 4,
+// and plot Figures 12-14.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	st := core.RunStudy(core.QuickScale())
+
+	fmt.Println(experiments.Table3(st))
+	fmt.Println(experiments.Table4(st))
+	fmt.Println(experiments.Figure12(st))
+	fmt.Println(experiments.Figure13(st))
+	fmt.Println(experiments.Figure14(st))
+
+	atHalf, atFull, ratio := st.Models.MissRateIncrease()
+	fmt.Printf("Missrate model: Cw=0.5 -> %.4f, Cw=1.0 -> %.4f (x%.1f)\n",
+		atHalf, atFull, ratio)
+	fmt.Println("Paper: .007 -> .024, a greater-than-triple increase.")
+
+	missCw := st.Models.VsCw[core.MeasureMissRate]
+	missPc := st.Models.VsPc[core.MeasureMissRate]
+	if missCw.Err == nil && missPc.Err == nil {
+		fmt.Printf("\nMissrate R2: vs Cw = %.2f, vs Pc = %.2f\n",
+			missCw.Fit.R2, missPc.Fit.R2)
+		fmt.Println("Paper: 0.74 vs 0.07 — miss rate depends on the fraction of")
+		fmt.Println("parallel code, not the processor count within parallel operations.")
+	}
+}

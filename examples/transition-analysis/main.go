@@ -1,0 +1,43 @@
+// Transition analysis: reproduce section 4.3 — trigger the analyzer
+// on the drop from 8-active to fewer, analyze the captured buffers,
+// and render Figures 6 and 7.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/monitor"
+)
+
+func main() {
+	var all core.TransitionStats
+	var buffers int
+	for i := 0; i < 3; i++ {
+		spec := core.TriggeredSpec{
+			Mode:           monitor.TriggerTransition,
+			Samples:        10,
+			Buffers:        5,
+			BudgetCycles:   400_000,
+			Seed:           500 + uint64(i),
+			WorkloadCycles: 4_000_000,
+		}
+		ts := core.RunTriggeredSession(i+1, spec)
+		buffers += len(ts.Buffers)
+		all.Add(core.AnalyzeTransitions(ts.Buffers))
+	}
+	fmt.Printf("captured %d transition buffers (%d records, %d in transition states)\n\n",
+		buffers, all.Records, all.TransitionRecords)
+
+	// Render the figures from a study wrapper holding only the
+	// transition analysis.
+	st := &core.Study{Transitions: all}
+	fmt.Println(experiments.Figure6(st))
+	fmt.Println(experiments.Figure7(st))
+
+	fmt.Printf("2-active share of transition states: %.1f%% (paper: 52%%)\n",
+		100*all.TransitionShare(2))
+	a, b := all.DominantPair()
+	fmt.Printf("dominant processors: CE %d and CE %d (paper: CEs 7 and 0)\n", a, b)
+}

@@ -1,0 +1,51 @@
+// Workload study: reproduce the chapter 4 random-sampling campaign at
+// reduced scale — several sessions of five-snapshot samples on a
+// production-like workload — and render Table 2 and Figures 3-5.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/monitor"
+)
+
+func main() {
+	cfg := core.StudyConfig{
+		RandomSessions:    4,
+		SamplesPerSession: 24,
+		Sampling:          monitor.SampleSpec{Snapshots: 5, GapCycles: 20_000},
+		BaseSeed:          1987,
+	}
+	st := core.RunStudy(cfg)
+
+	fmt.Println(experiments.Table2(st))
+	fmt.Println(experiments.Figure3(st))
+	fmt.Println(experiments.Figure4(st))
+	fmt.Println(experiments.Figure5(st))
+
+	m := st.OverallMeasures
+	fmt.Printf("Paper: Cw = 0.35, Pc = 7.66.  Measured: Cw = %.3f", m.Cw)
+	if m.Defined {
+		fmt.Printf(", Pc = %.2f", m.Pc)
+	}
+	fmt.Println()
+
+	// Per-sample view: how many samples show any concurrency (the
+	// paper reports 55%), and how many concurrent samples run near
+	// the maximum level (the paper reports >94% above 6.5)?
+	conc, _ := core.SplitByConcurrency(st.RandomSamples)
+	frac := float64(len(conc)) / float64(len(st.RandomSamples))
+	high := 0
+	for _, s := range conc {
+		if s.Conc.Pc > 6.5 {
+			high++
+		}
+	}
+	fmt.Printf("samples with concurrency: %.0f%% (paper: 55%%)\n", 100*frac)
+	if len(conc) > 0 {
+		fmt.Printf("concurrent samples with Pc > 6.5: %.0f%% (paper: >94%%)\n",
+			100*float64(high)/float64(len(conc)))
+	}
+}

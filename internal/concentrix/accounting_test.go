@@ -1,0 +1,50 @@
+package concentrix
+
+import "testing"
+
+func TestProcessAccounting(t *testing.T) {
+	sys := NewSystem(quietCluster(), DefaultSysConfig())
+	p := computeJob(1, 200, 3)
+	sys.Submit(p)
+	for i := 0; i < 100000 && !sys.Drained(); i++ {
+		sys.Step()
+	}
+	if !p.Done {
+		t.Fatal("job did not finish")
+	}
+	if p.CPUCycles == 0 {
+		t.Error("CPU cycles not accounted")
+	}
+	if p.Turnaround() == 0 {
+		t.Error("turnaround not accounted")
+	}
+	if p.Turnaround() < p.CPUCycles {
+		t.Errorf("turnaround %d < CPU %d", p.Turnaround(), p.CPUCycles)
+	}
+}
+
+func TestWaitCyclesAccumulateUnderContention(t *testing.T) {
+	cfg := DefaultSysConfig()
+	cfg.TimeSlice = 500
+	sys := NewSystem(quietCluster(), cfg)
+	a := computeJob(1, 2000, 2)
+	b := computeJob(2, 2000, 2)
+	sys.Submit(a)
+	sys.Submit(b)
+	for i := 0; i < 1000000 && !sys.Drained(); i++ {
+		sys.Step()
+	}
+	if !a.Done || !b.Done {
+		t.Fatal("jobs did not finish")
+	}
+	if b.WaitCycles == 0 {
+		t.Error("second job should have waited in the run queue")
+	}
+}
+
+func TestTurnaroundZeroBeforeDone(t *testing.T) {
+	p := &Process{Arrival: 10}
+	if p.Turnaround() != 0 {
+		t.Error("turnaround should be 0 before completion")
+	}
+}

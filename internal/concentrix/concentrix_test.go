@@ -1,0 +1,293 @@
+package concentrix
+
+import (
+	"testing"
+
+	"repro/internal/fx8"
+)
+
+func TestAddressSpaceTouch(t *testing.T) {
+	a := NewAddressSpace(3)
+	if !a.Touch(1) {
+		t.Fatal("first touch should fault")
+	}
+	if a.Touch(1) {
+		t.Fatal("second touch should be resident")
+	}
+	if !a.Resident(1) || a.Resident(2) {
+		t.Fatal("residency wrong")
+	}
+	if a.Faults != 1 {
+		t.Fatalf("faults = %d", a.Faults)
+	}
+}
+
+func TestAddressSpaceEviction(t *testing.T) {
+	a := NewAddressSpace(2)
+	a.Touch(1)
+	a.Touch(2)
+	if a.ResidentCount() != 2 {
+		t.Fatal("two pages should be resident")
+	}
+	a.Touch(3) // evicts page 1 (FIFO)
+	if a.Resident(1) {
+		t.Fatal("page 1 should have been evicted")
+	}
+	if !a.Resident(2) || !a.Resident(3) {
+		t.Fatal("pages 2 and 3 should be resident")
+	}
+	if a.ResidentCount() != 2 {
+		t.Fatalf("resident count = %d, want 2", a.ResidentCount())
+	}
+	// Re-touching the evicted page faults again.
+	if !a.Touch(1) {
+		t.Fatal("evicted page should fault on re-touch")
+	}
+}
+
+func TestAddressSpaceEvictionCycles(t *testing.T) {
+	// Stream many pages through a small space; residency never
+	// exceeds the limit and every new page faults.
+	a := NewAddressSpace(4)
+	for p := uint32(0); p < 100; p++ {
+		if !a.Touch(p) {
+			t.Fatalf("streaming page %d should fault", p)
+		}
+		if a.ResidentCount() > 4 {
+			t.Fatalf("resident count %d exceeds limit", a.ResidentCount())
+		}
+	}
+	if a.Faults != 100 {
+		t.Fatalf("faults = %d", a.Faults)
+	}
+}
+
+func TestAddressSpaceMinimumLimit(t *testing.T) {
+	a := NewAddressSpace(0)
+	a.Touch(1)
+	a.Touch(2)
+	if a.ResidentCount() != 1 {
+		t.Fatal("limit should clamp to 1")
+	}
+}
+
+func TestVMFaultCounting(t *testing.T) {
+	k := &Kernel{}
+	vm := NewVM(4096, 500, k)
+	p := &Process{PID: 1, Space: NewAddressSpace(8)}
+	vm.SetCurrent(p)
+
+	if s := vm.Touch(0, 0x1000); s != 500 {
+		t.Fatalf("first touch stall = %d, want 500", s)
+	}
+	if s := vm.Touch(0, 0x1FFF); s != 0 {
+		t.Fatalf("same-page touch stall = %d, want 0", s)
+	}
+	if s := vm.Touch(0, 0x2000); s != 500 {
+		t.Fatalf("next-page stall = %d", s)
+	}
+	if k.PageFaultsUser != 2 {
+		t.Fatalf("user faults = %d", k.PageFaultsUser)
+	}
+}
+
+func TestVMNoCurrentProcess(t *testing.T) {
+	k := &Kernel{}
+	vm := NewVM(4096, 500, k)
+	if s := vm.Touch(0, 0x1000); s != 0 {
+		t.Fatal("no current process should mean no faults")
+	}
+	if k.PageFaults() != 0 {
+		t.Fatal("no counters should advance")
+	}
+}
+
+func TestKernelPageFaultsSum(t *testing.T) {
+	k := &Kernel{PageFaultsUser: 3, PageFaultsSystem: 4}
+	if k.PageFaults() != 7 {
+		t.Fatalf("PageFaults = %d", k.PageFaults())
+	}
+}
+
+func quietCluster() *fx8.Cluster {
+	cfg := fx8.DefaultConfig()
+	cfg.NumIP = 0
+	return fx8.New(cfg)
+}
+
+func computeJob(pid, instrs int, cycles int32) *Process {
+	s := &fx8.SliceStream{}
+	for i := 0; i < instrs; i++ {
+		s.Instrs = append(s.Instrs, fx8.Instr{Op: fx8.OpCompute, N: cycles, IAddr: uint32(i * 4)})
+	}
+	return &Process{PID: pid, Name: "compute", ClusterSize: 8, Serial: s}
+}
+
+func TestSystemRunsSingleJob(t *testing.T) {
+	sys := NewSystem(quietCluster(), DefaultSysConfig())
+	p := computeJob(1, 50, 2)
+	sys.Submit(p)
+	for i := 0; i < 100000 && !sys.Drained(); i++ {
+		sys.Step()
+	}
+	if !sys.Drained() {
+		t.Fatal("job never completed")
+	}
+	if !p.Done || !p.Started {
+		t.Fatal("job flags not set")
+	}
+	if sys.Kernel.JobsCompleted != 1 {
+		t.Fatalf("jobs completed = %d", sys.Kernel.JobsCompleted)
+	}
+	if sys.Kernel.PageFaultsSystem == 0 {
+		t.Error("process load should charge system faults")
+	}
+}
+
+func TestSystemArrivalTimes(t *testing.T) {
+	sys := NewSystem(quietCluster(), DefaultSysConfig())
+	late := computeJob(2, 10, 1)
+	late.Arrival = 5000
+	sys.Submit(late)
+
+	// Before arrival the system idles.
+	sys.StepN(1000)
+	if sys.Current() != nil {
+		t.Fatal("job should not run before arrival")
+	}
+	if sys.IdleCycles == 0 {
+		t.Fatal("idle cycles should accumulate")
+	}
+	sys.StepN(10000)
+	if !late.Done {
+		t.Fatal("job should have completed after arrival")
+	}
+}
+
+func TestSystemSubmitOrdering(t *testing.T) {
+	sys := NewSystem(quietCluster(), DefaultSysConfig())
+	b := computeJob(2, 5, 1)
+	b.Arrival = 100
+	a := computeJob(1, 5, 1)
+	a.Arrival = 50
+	sys.Submit(b)
+	sys.Submit(a)
+	if sys.PendingLen() != 2 {
+		t.Fatal("both jobs pending")
+	}
+	for i := 0; i < 50000 && !sys.Drained(); i++ {
+		sys.Step()
+	}
+	if !a.Done || !b.Done {
+		t.Fatal("both jobs should complete")
+	}
+	if a.StartedAt > b.StartedAt {
+		t.Error("earlier arrival should start first")
+	}
+}
+
+func TestSystemRoundRobinPreemption(t *testing.T) {
+	cfg := DefaultSysConfig()
+	cfg.TimeSlice = 200
+	sys := NewSystem(quietCluster(), cfg)
+	long1 := computeJob(1, 5000, 2)
+	long2 := computeJob(2, 5000, 2)
+	sys.Submit(long1)
+	sys.Submit(long2)
+	// Run until both have started: requires a context switch before
+	// job 1 finishes.
+	for i := 0; i < 50000 && !long2.Started; i++ {
+		sys.Step()
+	}
+	if !long2.Started {
+		t.Fatal("second job never started; preemption broken")
+	}
+	if long1.Done {
+		t.Fatal("first job should not have finished before second started")
+	}
+	if sys.Kernel.ContextSwitches == 0 {
+		t.Fatal("context switches not counted")
+	}
+	for i := 0; i < 2000000 && !sys.Drained(); i++ {
+		sys.Step()
+	}
+	if !long1.Done || !long2.Done {
+		t.Fatal("both jobs should eventually complete")
+	}
+}
+
+func TestSystemNoPreemptionInsideLoop(t *testing.T) {
+	cfg := DefaultSysConfig()
+	cfg.TimeSlice = 10 // tiny quantum
+	sys := NewSystem(quietCluster(), cfg)
+
+	loop := &fx8.Loop{
+		Trips: 16,
+		Body: func(iter int) fx8.Stream {
+			return &fx8.SliceStream{Instrs: []fx8.Instr{
+				{Op: fx8.OpCompute, N: 500, IAddr: 0x8000},
+			}}
+		},
+	}
+	loopy := &Process{PID: 1, ClusterSize: 8, Serial: &fx8.SliceStream{Instrs: []fx8.Instr{
+		{Op: fx8.OpCStart, Loop: loop, IAddr: 0},
+		{Op: fx8.OpCompute, N: 5, IAddr: 4},
+	}}}
+	other := computeJob(2, 10, 1)
+	sys.Submit(loopy)
+	sys.Submit(other)
+
+	// While the loop is running the loopy job must stay installed
+	// even though its quantum expired.
+	enteredLoop := false
+	for i := 0; i < 200000 && !sys.Drained(); i++ {
+		sys.Step()
+		if sys.Cluster.InConcurrentLoop() {
+			enteredLoop = true
+			if sys.Current() != loopy {
+				t.Fatal("job switched during a concurrent loop")
+			}
+		}
+	}
+	if !enteredLoop {
+		t.Fatal("loop never entered")
+	}
+	if !loopy.Done || !other.Done {
+		t.Fatal("both jobs should complete")
+	}
+}
+
+func TestSystemPageFaultsFromWorkload(t *testing.T) {
+	cfg := DefaultSysConfig()
+	cfg.ResidentLimit = 4
+	cfg.FaultCycles = 100
+	sys := NewSystem(quietCluster(), cfg)
+
+	// A job streaming loads across many pages must fault repeatedly.
+	s := &fx8.SliceStream{}
+	for i := 0; i < 64; i++ {
+		s.Instrs = append(s.Instrs, fx8.Instr{
+			Op: fx8.OpLoad, Addr: uint32(i * 4096), IAddr: uint32(i % 16 * 4),
+		})
+	}
+	p := &Process{PID: 1, ClusterSize: 8, Serial: s}
+	sys.Submit(p)
+	for i := 0; i < 500000 && !sys.Drained(); i++ {
+		sys.Step()
+	}
+	if !p.Done {
+		t.Fatal("job did not finish")
+	}
+	if sys.Kernel.PageFaultsUser < 60 {
+		t.Fatalf("user faults = %d, want >= 60", sys.Kernel.PageFaultsUser)
+	}
+}
+
+func TestSystemDefaultAddressSpace(t *testing.T) {
+	sys := NewSystem(quietCluster(), DefaultSysConfig())
+	p := computeJob(1, 5, 1)
+	sys.Submit(p)
+	if p.Space == nil {
+		t.Fatal("Submit should provision an address space")
+	}
+}

@@ -1,0 +1,106 @@
+package concentrix
+
+import "repro/internal/fx8"
+
+// Process is a Concentrix cluster job: a serial instruction stream
+// (whose position persists across preemption), the cluster resource
+// class it requested, and its private address space.
+type Process struct {
+	PID  int
+	Name string
+
+	// ClusterSize is the Concentrix resource class: the job runs on
+	// the cluster with this many CEs (1 = detached serial execution).
+	ClusterSize int
+
+	// Serial is the job's serial thread; concurrent loops fan out
+	// from OpCStart instructions within it.
+	Serial fx8.Stream
+
+	// Arrival is the cycle at which the job becomes runnable.
+	Arrival uint64
+
+	// Space is the job's demand-paged address space.
+	Space *AddressSpace
+
+	// Accounting.
+	Started   bool
+	Done      bool
+	StartedAt uint64
+	DoneAt    uint64
+
+	// CPUCycles counts cycles the job held the cluster; WaitCycles
+	// counts cycles it spent runnable but not running.  Together with
+	// arrival and completion they characterize the job's treatment by
+	// the scheduler — the software-level parameters the study's
+	// conclusion points at.
+	CPUCycles  uint64
+	WaitCycles uint64
+}
+
+// Turnaround returns the job's total time in system, or 0 before
+// completion.
+func (p *Process) Turnaround() uint64 {
+	if !p.Done {
+		return 0
+	}
+	return p.DoneAt - p.Arrival
+}
+
+// Kernel holds the continuously-logged operating system counters that
+// the study's software instrumentation extracted — most importantly
+// the CE page fault counts (user and system mode).
+type Kernel struct {
+	// PageFaultsUser counts faults taken by CE data references;
+	// PageFaultsSystem counts faults charged to the kernel (process
+	// loading and pager housekeeping).
+	PageFaultsUser   uint64
+	PageFaultsSystem uint64
+
+	// ContextSwitches counts cluster process switches; JobsCompleted
+	// counts finished jobs.
+	ContextSwitches uint64
+	JobsCompleted   uint64
+}
+
+// PageFaults returns the total CE page faults, the measure recorded by
+// the study.
+func (k *Kernel) PageFaults() uint64 {
+	return k.PageFaultsUser + k.PageFaultsSystem
+}
+
+// VM adapts the scheduler's current process to the cluster's MMU
+// hook: each cache lookup touches the process's address space, and a
+// nonresident page stalls the CE for the fault service time while the
+// kernel counter advances.
+type VM struct {
+	pageShift   uint
+	faultCycles int
+	kernel      *Kernel
+	current     *Process
+}
+
+// NewVM builds the virtual memory hook.  pageBytes must be a power of
+// two; faultCycles is the CE stall per fault.
+func NewVM(pageBytes, faultCycles int, kernel *Kernel) *VM {
+	shift := uint(0)
+	for 1<<shift < pageBytes {
+		shift++
+	}
+	return &VM{pageShift: shift, faultCycles: faultCycles, kernel: kernel}
+}
+
+// SetCurrent switches the address space accesses resolve against.
+func (v *VM) SetCurrent(p *Process) { v.current = p }
+
+// Touch implements fx8.MMU.
+func (v *VM) Touch(ce int, addr uint32) int {
+	if v.current == nil || v.current.Space == nil {
+		return 0
+	}
+	if v.current.Space.Touch(addr >> v.pageShift) {
+		v.kernel.PageFaultsUser++
+		return v.faultCycles
+	}
+	return 0
+}

@@ -1,0 +1,62 @@
+// Package concentrix is the operating-system layer above the fx8
+// cluster: processes with demand-paged virtual memory, a cluster
+// scheduler with Concentrix-style resource classes (a job runs on the
+// cluster with 1..8 CEs), and the kernel event counters whose values
+// the study's software instrumentation extracted.
+package concentrix
+
+// AddressSpace tracks the resident pages of one process.  The FX/8
+// organizes virtual memory as 1024 segments of 1024 pages of 4 KB; for
+// fault behaviour only residency matters, so the model is a resident
+// set with FIFO (clock-like) eviction at a configurable limit.
+type AddressSpace struct {
+	resident map[uint32]int // page -> index in order ring
+	order    []uint32       // FIFO of resident pages
+	head     int
+	limit    int
+
+	// Faults counts the faults this address space generated.
+	Faults uint64
+}
+
+// NewAddressSpace returns an address space allowed up to limit
+// resident pages (limit must be positive).
+func NewAddressSpace(limit int) *AddressSpace {
+	if limit < 1 {
+		limit = 1
+	}
+	return &AddressSpace{
+		resident: make(map[uint32]int, limit),
+		limit:    limit,
+	}
+}
+
+// Resident reports whether page is resident.
+func (a *AddressSpace) Resident(page uint32) bool {
+	_, ok := a.resident[page]
+	return ok
+}
+
+// ResidentCount returns the number of resident pages.
+func (a *AddressSpace) ResidentCount() int { return len(a.resident) }
+
+// Touch references page, returning fault=true when the page had to be
+// brought in (possibly evicting the oldest resident page).
+func (a *AddressSpace) Touch(page uint32) (fault bool) {
+	if _, ok := a.resident[page]; ok {
+		return false
+	}
+	a.Faults++
+	if len(a.resident) >= a.limit {
+		// Evict the oldest page.
+		victim := a.order[a.head]
+		delete(a.resident, victim)
+		a.resident[page] = a.head
+		a.order[a.head] = page
+		a.head = (a.head + 1) % a.limit
+		return true
+	}
+	a.resident[page] = len(a.order)
+	a.order = append(a.order, page)
+	return true
+}

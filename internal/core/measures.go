@@ -1,0 +1,78 @@
+// Package core implements the study's measurement methodology — its
+// primary contribution: the concurrency measures of equations 4.1-4.4
+// (j-concurrency, Workload Concurrency, conditional j-concurrency,
+// Mean Concurrency Level), sample and session aggregation, the
+// concurrency transition analysis of section 4.3, and the
+// median-binned second-order regression models of chapter 5 relating
+// cache miss rate, CE bus activity and page fault rate to the
+// concurrency measures.
+package core
+
+import (
+	"repro/internal/monitor"
+	"repro/internal/trace"
+)
+
+// P is the processor count of the measured machine.
+const P = trace.NumCE
+
+// Concurrency holds the study's concurrency measures computed from a
+// distribution of the number of active processors.
+type Concurrency struct {
+	// C[j] is the j-concurrency c_j = Prob(active == j), eq. 4.1.
+	C [P + 1]float64
+
+	// Cw is the Workload Concurrency: the probability of any level
+	// of concurrency (two or more processors in parallel), eq. 4.2.
+	Cw float64
+
+	// CCond[j] is c_{j|c} = Prob(active == j | active > 1), eq. 4.3.
+	// Undefined (all zero) when the workload has no concurrency.
+	CCond [P + 1]float64
+
+	// Pc is the Mean Concurrency Level: the mean number of active
+	// processors during concurrent operation, eq. 4.4.  Meaningful
+	// only when Defined.
+	Pc float64
+
+	// Defined reports whether any concurrency was observed, i.e.
+	// whether CCond and Pc exist (the study leaves them undefined
+	// for fully serial samples).
+	Defined bool
+}
+
+// MeasuresFromNum computes the concurrency measures from num_j event
+// counts (records with j processors active).
+func MeasuresFromNum(num [P + 1]int) Concurrency {
+	var m Concurrency
+	total := 0
+	for _, n := range num {
+		total += n
+	}
+	if total == 0 {
+		return m
+	}
+	for j, n := range num {
+		m.C[j] = float64(n) / float64(total)
+	}
+	conc := 0
+	for j := 2; j <= P; j++ {
+		conc += num[j]
+	}
+	m.Cw = float64(conc) / float64(total)
+	if conc == 0 {
+		return m
+	}
+	m.Defined = true
+	for j := 2; j <= P; j++ {
+		m.CCond[j] = float64(num[j]) / float64(conc)
+		m.Pc += float64(j) * m.CCond[j]
+	}
+	return m
+}
+
+// MeasuresFromCounts computes the concurrency measures from reduced
+// event counts.
+func MeasuresFromCounts(e monitor.EventCounts) Concurrency {
+	return MeasuresFromNum(e.Num)
+}

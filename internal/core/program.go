@@ -1,0 +1,63 @@
+package core
+
+import (
+	"repro/internal/concentrix"
+	"repro/internal/fx8"
+	"repro/internal/monitor"
+)
+
+// ProgramProfile is the per-program evaluation the study's conclusion
+// proposes as future work: applying the workload-level concurrency
+// measures at program scope, so an individual application's behaviour
+// within the workload environment can be characterized.
+type ProgramProfile struct {
+	// Conc holds the program's own concurrency measures over every
+	// cycle of its execution (not sampled — the simulator affords
+	// exhaustive observation).
+	Conc Concurrency
+
+	// BusBusy, MissRate are the program's hardware measures over its
+	// execution.
+	BusBusy  float64
+	MissRate float64
+
+	// PageFaults is the fault count the program generated.
+	PageFaults uint64
+
+	// Cycles is the program's makespan; LoopCount and Iterations its
+	// concurrency structure.
+	Cycles     uint64
+	LoopCount  uint64
+	Iterations uint64
+
+	// Completed reports whether the program finished within budget.
+	Completed bool
+}
+
+// ProfileProgram runs one program alone on a freshly booted machine
+// and measures it exhaustively.  clusterSize is the Concentrix
+// resource class to run it under; limit bounds the run.
+func ProfileProgram(cfg fx8.Config, serial fx8.Stream, clusterSize, limit int) ProgramProfile {
+	cl := fx8.New(cfg)
+	sys := concentrix.NewSystem(cl, concentrix.DefaultSysConfig())
+	sys.Submit(&concentrix.Process{PID: 1, Name: "profiled", ClusterSize: clusterSize, Serial: serial})
+
+	loops0 := cl.CCBus().LoopsStarted
+	iters0 := cl.CCBus().IterationsRun
+	var counts monitor.EventCounts
+	start := cl.Cycle()
+	for i := 0; i < limit && !sys.Drained(); i++ {
+		sys.Step()
+		counts.AddRecord(cl.Snapshot())
+	}
+	return ProgramProfile{
+		Conc:       MeasuresFromCounts(counts),
+		BusBusy:    counts.BusBusy(),
+		MissRate:   counts.MissRate(),
+		PageFaults: sys.Kernel.PageFaults(),
+		Cycles:     cl.Cycle() - start,
+		LoopCount:  cl.CCBus().LoopsStarted - loops0,
+		Iterations: cl.CCBus().IterationsRun - iters0,
+		Completed:  sys.Drained(),
+	}
+}

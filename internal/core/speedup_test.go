@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fx8"
+	"repro/internal/workload"
+)
+
+func kernelBuilder(kind string) func() fx8.Stream {
+	layout := workload.KernelLayout{Base: 0x800000, CodeBase: 0x10000, Seed: 2}
+	switch kind {
+	case "daxpy":
+		return func() fx8.Stream {
+			return workload.KernelProgram(workload.DAXPY(2048, layout), layout)
+		}
+	case "solver":
+		return func() fx8.Stream {
+			return workload.KernelProgram(workload.SolverSweep(64, 2, layout), layout)
+		}
+	}
+	panic("unknown kernel")
+}
+
+func quietCfg() fx8.Config {
+	cfg := fx8.DefaultConfig()
+	cfg.NumIP = 0
+	return cfg
+}
+
+func TestSpeedupCurveDAXPY(t *testing.T) {
+	pts := SpeedupCurve(quietCfg(), kernelBuilder("daxpy"), 8, 10_000_000)
+	if len(pts) != 8 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Speedup != 1 || pts[0].Efficiency != 1 {
+		t.Errorf("P=1 baseline: %+v", pts[0])
+	}
+	// Speedup must be real and efficiency must not exceed 1.
+	for _, p := range pts {
+		if p.Cycles == 0 {
+			t.Fatalf("P=%d did not finish", p.Processors)
+		}
+		if p.Efficiency > 1.05 {
+			t.Errorf("P=%d superlinear efficiency %v", p.Processors, p.Efficiency)
+		}
+	}
+	if pts[7].Speedup <= pts[1].Speedup {
+		t.Errorf("8-way speedup %v should exceed 2-way %v", pts[7].Speedup, pts[1].Speedup)
+	}
+	// Efficiency declines with P (contention), per section 2.
+	if pts[7].Efficiency >= pts[0].Efficiency {
+		t.Error("efficiency should decline with processor count")
+	}
+}
+
+func TestSpeedupCurveDependenceLimited(t *testing.T) {
+	// A distance-2 solver sweep cannot use 8 processors effectively:
+	// its 8-way speedup must fall well short of the independent
+	// kernel's.
+	dep := SpeedupCurve(quietCfg(), kernelBuilder("solver"), 8, 10_000_000)
+	free := SpeedupCurve(quietCfg(), kernelBuilder("daxpy"), 8, 10_000_000)
+	if dep[7].Speedup >= free[7].Speedup {
+		t.Errorf("dependence-limited speedup %v should trail independent %v",
+			dep[7].Speedup, free[7].Speedup)
+	}
+}
+
+func TestSpeedupCurveClamps(t *testing.T) {
+	pts := SpeedupCurve(quietCfg(), kernelBuilder("daxpy"), 99, 10_000_000)
+	if len(pts) != 8 {
+		t.Errorf("maxP should clamp to NumCE: %d", len(pts))
+	}
+	pts = SpeedupCurve(quietCfg(), kernelBuilder("daxpy"), 0, 10_000_000)
+	if len(pts) != 1 {
+		t.Errorf("maxP should clamp to 1: %d", len(pts))
+	}
+}
+
+func TestSpeedupCurveBudgetExhausted(t *testing.T) {
+	pts := SpeedupCurve(quietCfg(), kernelBuilder("daxpy"), 2, 10)
+	for _, p := range pts {
+		if p.Cycles != 0 || p.Speedup != 0 {
+			t.Errorf("unfinished run should report zero: %+v", p)
+		}
+	}
+}
+
+func TestProfileProgramKernel(t *testing.T) {
+	layout := workload.KernelLayout{Base: 0x800000, CodeBase: 0x10000, Seed: 4}
+	prog := workload.KernelProgram(workload.DAXPY(2048, layout), layout)
+	prof := ProfileProgram(quietCfg(), prog, 8, 10_000_000)
+	if !prof.Completed {
+		t.Fatal("program did not complete")
+	}
+	if prof.LoopCount != 1 || prof.Iterations != 64 {
+		t.Errorf("structure: %d loops, %d iterations", prof.LoopCount, prof.Iterations)
+	}
+	if !prof.Conc.Defined || prof.Conc.Pc < 6 {
+		t.Errorf("Pc = %v", prof.Conc.Pc)
+	}
+	if prof.Conc.Cw <= 0 || prof.Conc.Cw > 1 {
+		t.Errorf("Cw = %v", prof.Conc.Cw)
+	}
+	if prof.Cycles == 0 {
+		t.Error("cycles not counted")
+	}
+}
+
+func TestProfileProgramSerialOnly(t *testing.T) {
+	prog := workload.NewSerialPhase(workload.SerialParams{
+		Instrs: 1000, MemProb: 0.2, WSBase: 0x10000, Seed: 5,
+	})
+	prof := ProfileProgram(quietCfg(), prog, 1, 1_000_000)
+	if !prof.Completed {
+		t.Fatal("serial program did not complete")
+	}
+	if prof.Conc.Defined {
+		t.Error("serial program should have undefined Pc")
+	}
+	if prof.LoopCount != 0 {
+		t.Errorf("loops = %d", prof.LoopCount)
+	}
+}
+
+func TestProfileProgramBudget(t *testing.T) {
+	layout := workload.KernelLayout{Base: 0x800000, CodeBase: 0x10000, Seed: 6}
+	prog := workload.KernelProgram(workload.DAXPY(4096, layout), layout)
+	prof := ProfileProgram(quietCfg(), prog, 8, 100)
+	if prof.Completed {
+		t.Error("100 cycles cannot complete the kernel")
+	}
+}

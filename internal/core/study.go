@@ -1,0 +1,153 @@
+package core
+
+import "repro/internal/monitor"
+
+// StudyConfig sizes the full reproduction of the study's measurement
+// campaign: nine random-sampling sessions, ten all-8-triggered
+// sessions, and five transition-triggered sessions.
+type StudyConfig struct {
+	RandomSessions     int
+	HighConcSessions   int
+	TransitionSessions int
+
+	// SamplesPerSession and Sampling size the random sessions.
+	SamplesPerSession int
+	Sampling          monitor.SampleSpec
+
+	// Triggered sizes the triggered sessions (Samples and Buffers
+	// per sample, trigger budget).
+	TriggeredSamples int
+	TriggeredBuffers int
+	TriggerBudget    int
+
+	// BaseSeed offsets all session seeds; sessions use consecutive
+	// derived seeds (different measurement days).
+	BaseSeed uint64
+}
+
+// PaperScale returns the full-size campaign matching the study's
+// session counts.
+func PaperScale() StudyConfig {
+	return StudyConfig{
+		RandomSessions:     9,
+		HighConcSessions:   10,
+		TransitionSessions: 5,
+		SamplesPerSession:  50,
+		Sampling:           monitor.SampleSpec{Snapshots: 5, GapCycles: 30_000},
+		TriggeredSamples:   16,
+		TriggeredBuffers:   5,
+		TriggerBudget:      400_000,
+		BaseSeed:           1987,
+	}
+}
+
+// QuickScale returns a reduced campaign for tests and examples: the
+// same structure at roughly a tenth the machine time.
+func QuickScale() StudyConfig {
+	return StudyConfig{
+		RandomSessions:     3,
+		HighConcSessions:   3,
+		TransitionSessions: 2,
+		SamplesPerSession:  16,
+		Sampling:           monitor.SampleSpec{Snapshots: 5, GapCycles: 10_000},
+		TriggeredSamples:   6,
+		TriggeredBuffers:   5,
+		TriggerBudget:      300_000,
+		BaseSeed:           1987,
+	}
+}
+
+// Study is the complete result of the measurement campaign: the inputs
+// to every table and figure in the paper.
+type Study struct {
+	Config StudyConfig
+
+	// Random are the random-sampling sessions (chapter 4).
+	Random []*Session
+
+	// HighConc and Transition are the triggered sessions (sections
+	// 3.5 and 4.3).
+	HighConc   []*TriggeredSession
+	Transition []*TriggeredSession
+
+	// Overall is the sum of hardware event counts over all random
+	// sessions (Table 2, Figure 3).
+	Overall monitor.EventCounts
+
+	// OverallMeasures are the concurrency measures of the summed
+	// random sessions.
+	OverallMeasures Concurrency
+
+	// RandomSamples are the per-sample measures of the random
+	// sessions (Figures 4, 5, A.3-A.5, Table A.1).
+	RandomSamples []SampleMeasures
+
+	// AllSamples combines random and high-concurrency samples — the
+	// population chapter 5 analyzes.
+	AllSamples []SampleMeasures
+
+	// Transitions is the record-level transition analysis (Figures
+	// 6, 7).
+	Transitions TransitionStats
+
+	// Models are the chapter 5 regressions (Tables 3, 4; Figures
+	// 12-14, B.9, B.10).
+	Models ModelSet
+}
+
+// RunStudy executes the full campaign and computes every derived
+// result.
+func RunStudy(cfg StudyConfig) *Study {
+	st := &Study{Config: cfg}
+
+	for i := 0; i < cfg.RandomSessions; i++ {
+		spec := SessionSpec{
+			Samples:  cfg.SamplesPerSession,
+			Sampling: cfg.Sampling,
+			Seed:     cfg.BaseSeed + uint64(i),
+		}
+		ses := RunRandomSession(i+1, spec)
+		st.Random = append(st.Random, ses)
+		st.Overall.Add(ses.Total)
+		st.RandomSamples = append(st.RandomSamples, ses.Measures...)
+	}
+	st.OverallMeasures = MeasuresFromCounts(st.Overall)
+
+	for i := 0; i < cfg.HighConcSessions; i++ {
+		spec := TriggeredSpec{
+			Mode:           monitor.TriggerAll8,
+			Samples:        cfg.TriggeredSamples,
+			Buffers:        cfg.TriggeredBuffers,
+			BudgetCycles:   cfg.TriggerBudget,
+			Seed:           cfg.BaseSeed + 100 + uint64(i),
+			WorkloadCycles: uint64(cfg.TriggeredSamples*cfg.TriggeredBuffers*cfg.TriggerBudget) / 4,
+		}
+		ts := RunTriggeredSession(i+1, spec)
+		st.HighConc = append(st.HighConc, ts)
+	}
+
+	for i := 0; i < cfg.TransitionSessions; i++ {
+		spec := TriggeredSpec{
+			Mode:           monitor.TriggerTransition,
+			Samples:        cfg.TriggeredSamples,
+			Buffers:        cfg.TriggeredBuffers,
+			BudgetCycles:   cfg.TriggerBudget,
+			Seed:           cfg.BaseSeed + 200 + uint64(i),
+			WorkloadCycles: uint64(cfg.TriggeredSamples*cfg.TriggeredBuffers*cfg.TriggerBudget) / 4,
+		}
+		ts := RunTriggeredSession(i+1, spec)
+		st.Transition = append(st.Transition, ts)
+		for _, buf := range ts.Buffers {
+			for _, r := range buf {
+				st.Transitions.AddRecord(r)
+			}
+		}
+	}
+
+	st.AllSamples = append(st.AllSamples, st.RandomSamples...)
+	for _, ts := range st.HighConc {
+		st.AllSamples = append(st.AllSamples, ts.Measures...)
+	}
+	st.Models = FitModels(st.AllSamples)
+	return st
+}

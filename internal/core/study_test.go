@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/monitor"
+	"repro/internal/stats"
+)
+
+// TestFitModelsSynthetic validates the model-building procedure on a
+// constructed sample population with known relationships.
+func TestFitModelsSynthetic(t *testing.T) {
+	var samples []SampleMeasures
+	// Miss rate rises quadratically with Cw; flat in Pc.
+	for i := 0; i < 400; i++ {
+		cw := float64(i%11) / 10
+		var conc Concurrency
+		conc.Cw = cw
+		if cw > 0 {
+			conc.Defined = true
+			conc.Pc = 6 + float64(i%3)
+		}
+		samples = append(samples, SampleMeasures{
+			Conc:          conc,
+			MissRate:      0.004 + 0.02*cw*cw + 0.001*float64(i%5)/5,
+			BusBusy:       0.05 + 0.25*cw,
+			PageFaultRate: 100 * cw,
+		})
+	}
+	set := FitModels(samples)
+
+	miss := set.VsCw[MeasureMissRate]
+	if miss.Err != nil {
+		t.Fatalf("miss-vs-Cw fit failed: %v", miss.Err)
+	}
+	if miss.Fit.R2 < 0.9 {
+		t.Errorf("miss-vs-Cw R2 = %v", miss.Fit.R2)
+	}
+	atHalf, atFull, ratio := set.MissRateIncrease()
+	if atFull <= atHalf || ratio < 1.5 {
+		t.Errorf("miss rate increase = (%v, %v, %v)", atHalf, atFull, ratio)
+	}
+
+	bus := set.VsCw[MeasureBusBusy]
+	if bus.Err != nil || bus.Fit.R2 < 0.95 {
+		t.Errorf("bus-vs-Cw fit: %+v", bus.Fit)
+	}
+
+	// Pc models exist (three distinct Pc values -> three median
+	// points, enough for a quadratic).
+	if set.VsPc[MeasureMissRate].Err != nil {
+		t.Errorf("miss-vs-Pc fit failed: %v", set.VsPc[MeasureMissRate].Err)
+	}
+}
+
+func TestFitModelsTooFewPoints(t *testing.T) {
+	samples := []SampleMeasures{
+		{Conc: Concurrency{Cw: 0.5, Defined: true, Pc: 8}, MissRate: 0.01},
+	}
+	set := FitModels(samples)
+	if set.VsCw[MeasureMissRate].Err == nil {
+		t.Error("single-point fit should fail")
+	}
+	if set.VsPc[MeasureMissRate].Err == nil {
+		t.Error("single-point Pc fit should fail")
+	}
+}
+
+// TestQuickStudyEndToEnd runs the reduced campaign and checks every
+// headline result of the paper in shape.
+func TestQuickStudyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline study in -short mode")
+	}
+	st := RunStudy(QuickScale())
+
+	// Session bookkeeping.
+	if len(st.Random) != 3 || len(st.HighConc) != 3 || len(st.Transition) != 2 {
+		t.Fatalf("session counts: %d %d %d", len(st.Random), len(st.HighConc), len(st.Transition))
+	}
+	if len(st.RandomSamples) != 3*16 {
+		t.Fatalf("random samples = %d", len(st.RandomSamples))
+	}
+	if len(st.AllSamples) <= len(st.RandomSamples) {
+		t.Error("high-concurrency samples missing from the chapter 5 population")
+	}
+
+	// Chapter 4: workload concurrency in the paper's neighbourhood,
+	// dominated by idle/serial/8-active states.
+	m := st.OverallMeasures
+	if m.Cw < 0.15 || m.Cw > 0.55 {
+		t.Errorf("overall Cw = %v, want near 0.35", m.Cw)
+	}
+	if !m.Defined || m.Pc < 7.0 {
+		t.Errorf("overall Pc = %v, want > 7 (paper: 7.66)", m.Pc)
+	}
+	if m.CCond[8] < 0.8 {
+		t.Errorf("c_8|c = %v, want > 0.8 (paper: 0.93)", m.CCond[8])
+	}
+
+	// Section 4.3: the 2-active state dominates transition periods
+	// and CEs 0 and 7 are the dominant pair.
+	tr := st.Transitions
+	if tr.TransitionRecords == 0 {
+		t.Fatal("no transition records captured")
+	}
+	share2 := tr.TransitionShare(2)
+	for j := 3; j <= 7; j++ {
+		if tr.TransitionShare(j) > share2 {
+			t.Errorf("share(%d)=%v exceeds share(2)=%v", j, tr.TransitionShare(j), share2)
+		}
+	}
+	a, b := tr.DominantPair()
+	pair := map[int]bool{a: true, b: true}
+	if !pair[0] || !pair[7] {
+		t.Errorf("dominant transition pair = %d,%d, want 0 and 7", a, b)
+	}
+
+	// Chapter 5: miss rate rises with Cw.
+	miss := st.Models.VsCw[MeasureMissRate]
+	if miss.Err != nil {
+		t.Fatalf("miss-vs-Cw model failed: %v", miss.Err)
+	}
+	atHalf, atFull, ratio := st.Models.MissRateIncrease()
+	if atFull <= atHalf {
+		t.Errorf("miss rate model not increasing: %v -> %v", atHalf, atFull)
+	}
+	if ratio < 1.3 {
+		t.Errorf("miss rate increase ratio = %v, want substantial (paper: >3)", ratio)
+	}
+
+	// Miss rate should relate much more strongly to Cw than to Pc.
+	// With fewer than five populated Pc midpoints a quadratic fits
+	// the median points nearly exactly, so the R2 comparison is only
+	// meaningful at larger scales.
+	if pcModel := st.Models.VsPc[MeasureMissRate]; pcModel.Err == nil && len(pcModel.Points) >= 5 {
+		if pcModel.Fit.R2 > miss.Fit.R2 {
+			t.Errorf("miss rate more correlated with Pc (%v) than Cw (%v)",
+				pcModel.Fit.R2, miss.Fit.R2)
+		}
+	}
+
+	// Bus busy rises with Cw.
+	bus := st.Models.VsCw[MeasureBusBusy]
+	if bus.Err != nil {
+		t.Fatalf("bus-vs-Cw model failed: %v", bus.Err)
+	}
+	if bus.Fit.Eval(1.0) <= bus.Fit.Eval(0.1) {
+		t.Error("bus busy model should increase with Cw")
+	}
+}
+
+func TestSessionSpanAccounting(t *testing.T) {
+	spec := SessionSpec{
+		Samples:  4,
+		Sampling: monitor.SampleSpec{Snapshots: 5, GapCycles: 1000},
+	}
+	want := uint64(4 * 5 * (1000 + monitor.BufferDepth))
+	if got := spec.span(); got != want {
+		t.Errorf("span = %d, want %d", got, want)
+	}
+}
+
+func TestRunRandomSessionSmall(t *testing.T) {
+	spec := SessionSpec{
+		Samples:  4,
+		Sampling: monitor.SampleSpec{Snapshots: 2, GapCycles: 4000},
+		Seed:     7,
+	}
+	ses := RunRandomSession(1, spec)
+	if len(ses.Samples) != 4 || len(ses.Measures) != 4 {
+		t.Fatalf("samples = %d", len(ses.Samples))
+	}
+	if ses.Total.Records != 4*2*monitor.BufferDepth {
+		t.Fatalf("total records = %d", ses.Total.Records)
+	}
+}
+
+func TestRunTriggeredSessionTransition(t *testing.T) {
+	spec := TriggeredSpec{
+		Mode:           monitor.TriggerTransition,
+		Samples:        3,
+		Buffers:        2,
+		BudgetCycles:   500_000,
+		Seed:           11,
+		WorkloadCycles: 2_000_000,
+	}
+	ts := RunTriggeredSession(1, spec)
+	if len(ts.Buffers) == 0 {
+		t.Skip("no transitions captured in budget (seed-dependent)")
+	}
+	// Every captured buffer's first record must be a sub-8 state:
+	// the trigger cycle itself.
+	for i, buf := range ts.Buffers {
+		if buf[0].ActiveCount() >= 8 {
+			t.Errorf("buffer %d first record has %d active", i, buf[0].ActiveCount())
+		}
+	}
+}
+
+func TestMedianGridConstants(t *testing.T) {
+	// The grids must produce 11 Cw midpoints and 7 Pc midpoints as in
+	// section 5.2.
+	pts := stats.MedianBin(
+		[]float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		make([]float64, 11), CwGridLo, CwGridHi, CwGridStep)
+	if len(pts) != 11 {
+		t.Errorf("Cw grid midpoints = %d, want 11", len(pts))
+	}
+	pts = stats.MedianBin(
+		[]float64{2, 3, 4, 5, 6, 7, 8},
+		make([]float64, 7), PcGridLo, PcGridHi, PcGridStep)
+	if len(pts) != 7 {
+		t.Errorf("Pc grid midpoints = %d, want 7", len(pts))
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fx8"
+	"repro/internal/sas"
+	"repro/internal/workload"
+)
+
+// Speedup experiments: the study's background chapter defines Speedup
+// and Efficiency and cites FX/8 measurements of them ([12]); this
+// regenerates such curves for the repository's named kernels, as the
+// complement the paper draws between program-level and workload-level
+// evaluation.
+
+// KernelSpeedup runs the named kernel at every cluster size and
+// renders its speedup/efficiency table.
+func KernelSpeedup(name string, build func() fx8.Stream) string {
+	cfg := fx8.DefaultConfig()
+	cfg.NumIP = 0
+	pts := core.SpeedupCurve(cfg, build, 8, 20_000_000)
+	var rows [][]string
+	for _, p := range pts {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Processors),
+			fmt.Sprintf("%d", p.Cycles),
+			fmt.Sprintf("%.2f", p.Speedup),
+			fmt.Sprintf("%.2f", p.Efficiency),
+		})
+	}
+	return sas.Table(fmt.Sprintf("Speedup of %s on the simulated FX/8.", name),
+		[]string{"P", "Cycles", "Speedup Sp", "Efficiency Ep"}, rows)
+}
+
+// StandardKernelSpeedups renders speedup tables for the repository's
+// named kernels: DAXPY, blocked matrix multiply, a dependence-carrying
+// solver sweep, and a stencil.
+func StandardKernelSpeedups() string {
+	layout := workload.KernelLayout{Base: 0x800000, CodeBase: 0x10000, Seed: 9}
+	kernels := []struct {
+		name  string
+		build func() fx8.Stream
+	}{
+		{"DAXPY (n=4096)", func() fx8.Stream {
+			return workload.KernelProgram(workload.DAXPY(4096, layout), layout)
+		}},
+		{"Blocked MatMul (n=256)", func() fx8.Stream {
+			return workload.KernelProgram(workload.MatMulBlocked(256, layout), layout)
+		}},
+		{"Solver sweep (n=96, dist=8)", func() fx8.Stream {
+			return workload.KernelProgram(workload.SolverSweep(96, 8, layout), layout)
+		}},
+		{"Stencil (n=96)", func() fx8.Stream {
+			return workload.KernelProgram(workload.Stencil(96, layout), layout)
+		}},
+	}
+	var b strings.Builder
+	for _, k := range kernels {
+		b.WriteString(KernelSpeedup(k.name, k.build))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ProgramProfileReport runs the future-work per-program evaluation on
+// one program and renders its profile.
+func ProgramProfileReport(name string, serial fx8.Stream, clusterSize int) string {
+	prof := core.ProfileProgram(fx8.DefaultConfig(), serial, clusterSize, 30_000_000)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Program profile: %s (cluster size %d)\n\n", name, clusterSize)
+	fmt.Fprintf(&b, "  completed:        %v\n", prof.Completed)
+	fmt.Fprintf(&b, "  cycles:           %d\n", prof.Cycles)
+	fmt.Fprintf(&b, "  loops/iterations: %d / %d\n", prof.LoopCount, prof.Iterations)
+	fmt.Fprintf(&b, "  Cw:               %.3f\n", prof.Conc.Cw)
+	if prof.Conc.Defined {
+		fmt.Fprintf(&b, "  Pc:               %.2f\n", prof.Conc.Pc)
+	}
+	fmt.Fprintf(&b, "  CE bus busy:      %.3f\n", prof.BusBusy)
+	fmt.Fprintf(&b, "  missrate:         %.4f\n", prof.MissRate)
+	fmt.Fprintf(&b, "  page faults:      %d\n", prof.PageFaults)
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fx8"
+	"repro/internal/workload"
+)
+
+func TestKernelSpeedupTable(t *testing.T) {
+	layout := workload.KernelLayout{Base: 0x800000, CodeBase: 0x10000, Seed: 1}
+	out := KernelSpeedup("DAXPY test", func() fx8.Stream {
+		return workload.KernelProgram(workload.DAXPY(1024, layout), layout)
+	})
+	if !strings.Contains(out, "DAXPY test") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "Speedup Sp") || !strings.Contains(out, "Efficiency Ep") {
+		t.Error("headers missing")
+	}
+	// Eight rows: one per cluster size.
+	if got := strings.Count(out, "\n|") - 1; got != 8 {
+		t.Errorf("rows = %d, want 8\n%s", got, out)
+	}
+}
+
+func TestStandardKernelSpeedups(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernel sweep in -short mode")
+	}
+	out := StandardKernelSpeedups()
+	for _, want := range []string{"DAXPY", "MatMul", "Solver sweep", "Stencil"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing kernel %q", want)
+		}
+	}
+}
+
+func TestProgramProfileReport(t *testing.T) {
+	layout := workload.KernelLayout{Base: 0x800000, CodeBase: 0x10000, Seed: 2}
+	out := ProgramProfileReport("daxpy",
+		workload.KernelProgram(workload.DAXPY(1024, layout), layout), 8)
+	for _, want := range []string{"completed:        true", "Cw:", "Pc:", "missrate:", "loops/iterations: 1 /"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProgramProfileSerialHasNoPc(t *testing.T) {
+	out := ProgramProfileReport("serial",
+		workload.NewSerialPhase(workload.SerialParams{Instrs: 500, MemProb: 0.2, WSBase: 0x1000, Seed: 3}), 1)
+	if strings.Contains(out, "Pc:") {
+		t.Error("serial profile should omit Pc")
+	}
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/concentrix"
+	"repro/internal/core"
+	"repro/internal/fx8"
+	"repro/internal/monitor"
+	"repro/internal/sas"
+	"repro/internal/workload"
+)
+
+// Parameter sweeps: the study's conclusion singles out "the
+// relationship of concurrency and software-level parameters (such as
+// those related to job scheduling)" as future work, and its
+// methodology section argues the technique generalizes to other
+// machine configurations.  These sweeps run the measurement pipeline
+// across scheduler quanta and machine configurations.
+
+// SweepPoint is one measured configuration.
+type SweepPoint struct {
+	Label    string
+	Cw       float64
+	Pc       float64
+	BusBusy  float64
+	MissRate float64
+	Faults   uint64
+}
+
+// sweepSession measures one session on a machine + OS configuration.
+func sweepSession(cfg fx8.Config, sysCfg concentrix.SysConfig, seed uint64, samples int) SweepPoint {
+	cfg.Seed = seed
+	cl := fx8.New(cfg)
+	sys := concentrix.NewSystem(cl, sysCfg)
+	spec := core.SessionSpec{
+		Samples:  samples,
+		Sampling: monitor.SampleSpec{Snapshots: 5, GapCycles: 20_000},
+		Seed:     seed,
+	}
+	span := uint64(samples) * 5 * uint64(20_000+monitor.BufferDepth*monitor.Timebase)
+	for _, p := range workload.NewGenerator(workload.PaperMix(seed)).Session(span) {
+		sys.Submit(p)
+	}
+	ses := core.SampleSystem(sys, 1, spec)
+	m := core.MeasuresFromCounts(ses.Total)
+	return SweepPoint{
+		Cw:       m.Cw,
+		Pc:       m.Pc,
+		BusBusy:  ses.Total.BusBusy(),
+		MissRate: ses.Total.MissRate(),
+		Faults:   ses.TotalFaults,
+	}
+}
+
+// SchedulerSweep measures the workload at several scheduling quanta.
+func SchedulerSweep(quanta []int, seed uint64, samples int) []SweepPoint {
+	pts := make([]SweepPoint, 0, len(quanta))
+	for _, q := range quanta {
+		sysCfg := concentrix.DefaultSysConfig()
+		sysCfg.TimeSlice = q
+		pt := sweepSession(fx8.DefaultConfig(), sysCfg, seed, samples)
+		pt.Label = fmt.Sprintf("quantum=%d", q)
+		pts = append(pts, pt)
+	}
+	return pts
+}
+
+// CacheSweep measures the workload at several shared cache sizes.
+func CacheSweep(sizes []int, seed uint64, samples int) []SweepPoint {
+	pts := make([]SweepPoint, 0, len(sizes))
+	for _, s := range sizes {
+		cfg := fx8.DefaultConfig()
+		cfg.SharedCacheBytes = s
+		pt := sweepSession(cfg, concentrix.DefaultSysConfig(), seed, samples)
+		pt.Label = fmt.Sprintf("cache=%dKB", s>>10)
+		pts = append(pts, pt)
+	}
+	return pts
+}
+
+// CESweep measures the workload on FX/1-FX/8-style configurations.
+func CESweep(counts []int, seed uint64, samples int) []SweepPoint {
+	pts := make([]SweepPoint, 0, len(counts))
+	for _, n := range counts {
+		cfg := fx8.DefaultConfig()
+		cfg.NumCE = n
+		if cfg.ArbBias != nil {
+			cfg.ArbBias = cfg.ArbBias[:n]
+		}
+		if cfg.CCBDispatchExtra != nil {
+			cfg.CCBDispatchExtra = cfg.CCBDispatchExtra[:n]
+		}
+		pt := sweepSession(cfg, concentrix.DefaultSysConfig(), seed, samples)
+		pt.Label = fmt.Sprintf("CEs=%d", n)
+		pts = append(pts, pt)
+	}
+	return pts
+}
+
+// SweepTable renders sweep points.
+func SweepTable(title string, pts []SweepPoint) string {
+	var rows [][]string
+	for _, p := range pts {
+		pc := "-"
+		if p.Pc > 0 {
+			pc = fmt.Sprintf("%.2f", p.Pc)
+		}
+		rows = append(rows, []string{
+			p.Label,
+			fmt.Sprintf("%.3f", p.Cw),
+			pc,
+			fmt.Sprintf("%.3f", p.BusBusy),
+			fmt.Sprintf("%.4f", p.MissRate),
+			fmt.Sprintf("%d", p.Faults),
+		})
+	}
+	return sas.Table(title,
+		[]string{"Config", "Cw", "Pc", "BusBusy", "Missrate", "Faults"}, rows)
+}

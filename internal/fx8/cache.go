@@ -1,0 +1,183 @@
+package fx8
+
+// SharedCache models the FX/8's Computational Element Cache: a
+// write-back, write-allocate cache split into interleaved modules
+// (CPCs), each set-associative with LRU replacement.  Lines are
+// interleaved across modules by line address, matching the machine's
+// four-way interleave across two physical modules.
+type SharedCache struct {
+	lineShift uint
+	modMask   uint32
+	modShift  uint
+	setMask   uint32
+	ways      int
+
+	// sets[module][set*ways+way]
+	lines []cacheLine
+	sets  int // per module
+
+	// lruStamp provides cheap LRU ordering: it increases on every
+	// access and lines carry the stamp of their last use.
+	lruStamp uint32
+
+	// Statistics.
+	Hits, Misses, WriteBacks, Invalidations uint64
+}
+
+type cacheLine struct {
+	tag   uint32
+	valid bool
+	dirty bool
+	lru   uint32
+}
+
+// NewSharedCache builds the cache described by cfg.
+func NewSharedCache(cfg Config) *SharedCache {
+	lineShift := uint(0)
+	for 1<<lineShift < cfg.LineBytes {
+		lineShift++
+	}
+	modShift := uint(0)
+	for 1<<modShift < cfg.SharedModules {
+		modShift++
+	}
+	totalLines := cfg.SharedCacheBytes / cfg.LineBytes
+	linesPerModule := totalLines / cfg.SharedModules
+	sets := linesPerModule / cfg.SharedWays
+	c := &SharedCache{
+		lineShift: lineShift,
+		modMask:   uint32(cfg.SharedModules - 1),
+		modShift:  modShift,
+		setMask:   uint32(sets - 1),
+		ways:      cfg.SharedWays,
+		sets:      sets,
+		lines:     make([]cacheLine, totalLines),
+	}
+	return c
+}
+
+// Module returns the cache module (and hence memory bus affinity) an
+// address maps to.
+func (c *SharedCache) Module(addr uint32) int {
+	return int(addr >> c.lineShift & c.modMask)
+}
+
+// LookupResult describes the outcome of a cache access.
+type LookupResult struct {
+	Hit        bool
+	WriteBack  bool   // a dirty victim must be written back
+	VictimAddr uint32 // line address of the victim (if WriteBack)
+	Module     int
+}
+
+// Lookup performs an access at addr; write marks the line dirty.  On a
+// miss the line is allocated immediately (the fill delay is modelled
+// by the caller through the memory bus).  The returned result reports
+// whether a dirty victim needs writing back.
+func (c *SharedCache) Lookup(addr uint32, write bool) LookupResult {
+	line := addr >> c.lineShift
+	module := int(line & c.modMask)
+	set := int(line >> c.modShift & c.setMask)
+	tag := line >> (c.modShift + setBits(c.setMask))
+
+	base := (module*c.sets + set) * c.ways
+	ways := c.lines[base : base+c.ways]
+
+	c.lruStamp++
+	// Hit check.
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.lruStamp
+			if write {
+				ways[i].dirty = true
+			}
+			c.Hits++
+			return LookupResult{Hit: true, Module: module}
+		}
+	}
+	// Miss: choose victim (invalid first, then LRU).
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	res := LookupResult{Module: module}
+	if ways[victim].valid && ways[victim].dirty {
+		res.WriteBack = true
+		victimLine := ways[victim].tag<<(c.modShift+setBits(c.setMask)) |
+			uint32(set)<<c.modShift | uint32(module)
+		res.VictimAddr = victimLine << c.lineShift
+		c.WriteBacks++
+	}
+	ways[victim] = cacheLine{tag: tag, valid: true, dirty: write, lru: c.lruStamp}
+	c.Misses++
+	return res
+}
+
+// Contains reports whether addr's line is resident, without touching
+// LRU state or statistics.
+func (c *SharedCache) Contains(addr uint32) bool {
+	line := addr >> c.lineShift
+	module := int(line & c.modMask)
+	set := int(line >> c.modShift & c.setMask)
+	tag := line >> (c.modShift + setBits(c.setMask))
+	base := (module*c.sets + set) * c.ways
+	for _, w := range c.lines[base : base+c.ways] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes addr's line if resident, enforcing the
+// unique-copy coherence rule when another cache (an IP cache) takes
+// ownership.  It reports whether a line was actually invalidated.
+func (c *SharedCache) Invalidate(addr uint32) bool {
+	line := addr >> c.lineShift
+	module := int(line & c.modMask)
+	set := int(line >> c.modShift & c.setMask)
+	tag := line >> (c.modShift + setBits(c.setMask))
+	base := (module*c.sets + set) * c.ways
+	ways := c.lines[base : base+c.ways]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].valid = false
+			c.Invalidations++
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line (context switch of the cluster owner
+// does not flush on the real machine, but tests use it to reset
+// state).
+func (c *SharedCache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+}
+
+// MissRatio returns misses/(hits+misses), or 0 before any access.
+func (c *SharedCache) MissRatio() float64 {
+	t := c.Hits + c.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(t)
+}
+
+func setBits(mask uint32) uint {
+	n := uint(0)
+	for mask != 0 {
+		n++
+		mask >>= 1
+	}
+	return n
+}

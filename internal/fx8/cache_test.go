@@ -1,0 +1,235 @@
+package fx8
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func testCacheConfig() Config {
+	cfg := DefaultConfig()
+	return cfg
+}
+
+func TestSharedCacheHitAfterFill(t *testing.T) {
+	c := NewSharedCache(testCacheConfig())
+	addr := uint32(0x1000)
+	if res := c.Lookup(addr, false); res.Hit {
+		t.Fatal("cold cache should miss")
+	}
+	if res := c.Lookup(addr, false); !res.Hit {
+		t.Fatal("second access should hit")
+	}
+	// Same line, different offset.
+	if res := c.Lookup(addr+31, false); !res.Hit {
+		t.Fatal("same-line offset should hit")
+	}
+	// Next line misses.
+	if res := c.Lookup(addr+32, false); res.Hit {
+		t.Fatal("next line should miss")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Fatalf("stats hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestSharedCacheModuleInterleave(t *testing.T) {
+	cfg := testCacheConfig()
+	c := NewSharedCache(cfg)
+	// Consecutive lines alternate modules (two-module interleave).
+	m0 := c.Module(0)
+	m1 := c.Module(uint32(cfg.LineBytes))
+	m2 := c.Module(uint32(2 * cfg.LineBytes))
+	if m0 == m1 {
+		t.Errorf("adjacent lines should map to different modules: %d %d", m0, m1)
+	}
+	if m0 != m2 {
+		t.Errorf("lines two apart should share a module: %d %d", m0, m2)
+	}
+	// Offsets within a line share a module.
+	if c.Module(5) != m0 {
+		t.Error("intra-line offset changed module")
+	}
+}
+
+func TestSharedCacheLRUEviction(t *testing.T) {
+	cfg := testCacheConfig()
+	c := NewSharedCache(cfg)
+	// Addresses mapping to the same module and set: stride by
+	// (modules * sets * lineBytes).
+	stride := uint32(cfg.SharedModules * c.sets * cfg.LineBytes)
+	base := uint32(0)
+	// Fill all ways.
+	for w := 0; w < cfg.SharedWays; w++ {
+		c.Lookup(base+uint32(w)*stride, false)
+	}
+	// Touch way 0 so way 1 is LRU.
+	c.Lookup(base, false)
+	// New conflicting line evicts way 1.
+	c.Lookup(base+uint32(cfg.SharedWays)*stride, false)
+	if !c.Contains(base) {
+		t.Error("recently used line was evicted")
+	}
+	if c.Contains(base + stride) {
+		t.Error("LRU line should have been evicted")
+	}
+}
+
+func TestSharedCacheWriteBack(t *testing.T) {
+	cfg := testCacheConfig()
+	c := NewSharedCache(cfg)
+	stride := uint32(cfg.SharedModules * c.sets * cfg.LineBytes)
+	// Dirty a line, then evict it through conflict misses.
+	c.Lookup(0, true)
+	var sawWriteBack bool
+	for w := 1; w <= cfg.SharedWays; w++ {
+		res := c.Lookup(uint32(w)*stride, false)
+		if res.WriteBack {
+			sawWriteBack = true
+			if res.VictimAddr != 0 {
+				t.Errorf("victim address = %#x, want 0", res.VictimAddr)
+			}
+		}
+	}
+	if !sawWriteBack {
+		t.Error("evicting a dirty line should request a write-back")
+	}
+	if c.WriteBacks == 0 {
+		t.Error("write-back statistic not counted")
+	}
+}
+
+func TestSharedCacheCleanEvictionNoWriteBack(t *testing.T) {
+	cfg := testCacheConfig()
+	c := NewSharedCache(cfg)
+	stride := uint32(cfg.SharedModules * c.sets * cfg.LineBytes)
+	for w := 0; w <= cfg.SharedWays+2; w++ {
+		if res := c.Lookup(uint32(w)*stride, false); res.WriteBack {
+			t.Fatal("clean lines must not be written back")
+		}
+	}
+}
+
+func TestSharedCacheInvalidate(t *testing.T) {
+	c := NewSharedCache(testCacheConfig())
+	c.Lookup(0x2000, false)
+	if !c.Contains(0x2000) {
+		t.Fatal("line should be resident")
+	}
+	if !c.Invalidate(0x2000) {
+		t.Fatal("invalidate should find the line")
+	}
+	if c.Contains(0x2000) {
+		t.Fatal("line should be gone after invalidate")
+	}
+	if c.Invalidate(0x2000) {
+		t.Fatal("second invalidate should find nothing")
+	}
+	if c.Invalidations != 1 {
+		t.Fatalf("invalidations = %d", c.Invalidations)
+	}
+}
+
+func TestSharedCacheFlush(t *testing.T) {
+	c := NewSharedCache(testCacheConfig())
+	for a := uint32(0); a < 4096; a += 32 {
+		c.Lookup(a, true)
+	}
+	c.Flush()
+	for a := uint32(0); a < 4096; a += 32 {
+		if c.Contains(a) {
+			t.Fatalf("line %#x survived flush", a)
+		}
+	}
+}
+
+func TestSharedCacheVictimAddressRoundTrip(t *testing.T) {
+	// Property: when a dirty victim is reported, its address maps to
+	// the same module and set as the line that displaced it.
+	cfg := testCacheConfig()
+	c := NewSharedCache(cfg)
+	rng := rand.New(rand.NewPCG(8, 8))
+	for i := 0; i < 20000; i++ {
+		addr := uint32(rng.Uint64() % (16 << 20))
+		res := c.Lookup(addr, rng.IntN(2) == 0)
+		if res.WriteBack {
+			if c.Module(res.VictimAddr) != c.Module(addr) {
+				t.Fatalf("victim %#x module %d != addr %#x module %d",
+					res.VictimAddr, c.Module(res.VictimAddr), addr, c.Module(addr))
+			}
+		}
+	}
+}
+
+func TestSharedCacheMissRatioStreamVsResident(t *testing.T) {
+	cfg := testCacheConfig()
+	// Streaming a footprint much larger than the cache must miss per
+	// line; re-walking a resident footprint must hit.
+	stream := NewSharedCache(cfg)
+	for a := uint32(0); a < 4<<20; a += 32 {
+		stream.Lookup(a, false)
+	}
+	if r := stream.MissRatio(); r < 0.99 {
+		t.Errorf("streaming miss ratio = %v, want ~1", r)
+	}
+
+	resident := NewSharedCache(cfg)
+	for pass := 0; pass < 10; pass++ {
+		for a := uint32(0); a < 32<<10; a += 32 {
+			resident.Lookup(a, false)
+		}
+	}
+	if r := resident.MissRatio(); r > 0.15 {
+		t.Errorf("resident miss ratio = %v, want small", r)
+	}
+}
+
+func TestMissRatioEmpty(t *testing.T) {
+	c := NewSharedCache(testCacheConfig())
+	if c.MissRatio() != 0 {
+		t.Error("empty cache MissRatio should be 0")
+	}
+}
+
+func TestICacheBasic(t *testing.T) {
+	ic := newICache(16<<10, 32)
+	if ic.lookup(0x100) {
+		t.Fatal("cold icache should miss")
+	}
+	if !ic.lookup(0x100) {
+		t.Fatal("refetch should hit")
+	}
+	if !ic.lookup(0x11F) {
+		t.Fatal("same line should hit")
+	}
+	if ic.lookup(0x100 + 16<<10) {
+		t.Fatal("aliasing line should conflict-miss in a direct-mapped cache")
+	}
+	if ic.lookup(0x100) {
+		t.Fatal("original line was displaced; should miss")
+	}
+}
+
+func TestICacheLoopFits(t *testing.T) {
+	// A loop body smaller than the icache hits on every re-execution
+	// after the first pass — the section 5.1 locality effect.
+	ic := newICache(16<<10, 32)
+	body := uint32(8 << 10)
+	for pass := 0; pass < 5; pass++ {
+		for a := uint32(0); a < body; a += 4 {
+			ic.lookup(a)
+		}
+	}
+	total := ic.hits + ic.misses
+	if ratio := float64(ic.misses) / float64(total); ratio > 0.03 {
+		t.Errorf("loop-resident miss ratio = %v", ratio)
+	}
+}
+
+func TestICacheInvalidate(t *testing.T) {
+	ic := newICache(1<<10, 32)
+	ic.lookup(0)
+	ic.invalidate()
+	if ic.lookup(0) {
+		t.Fatal("invalidated icache should miss")
+	}
+}

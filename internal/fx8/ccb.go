@@ -1,0 +1,115 @@
+package fx8
+
+// CCB models the Concurrency Control Bus: the hardware that starts
+// concurrent loops, self-schedules iterations to CEs, tracks loop
+// completion, and carries dependence synchronization — all without
+// touching the memory system, matching the observation in section 5.1
+// that dependence waiting generates no cache traffic.
+type CCB struct {
+	running   bool
+	loop      *Loop
+	trips     int
+	next      int // next iteration to dispatch
+	completed int
+	lastCE    int // CE assigned the final iteration (-1 until assigned)
+
+	// Dependence synchronization: watermark counts consecutively
+	// advanced iterations from 0; out-of-order advances park in the
+	// pending set until the watermark reaches them.
+	watermark int
+	pending   map[int]struct{}
+
+	// Statistics.
+	LoopsStarted  uint64
+	IterationsRun uint64
+	AdvanceOps    uint64
+}
+
+// NewCCB returns an idle concurrency control bus.
+func NewCCB() *CCB {
+	return &CCB{lastCE: -1, pending: make(map[int]struct{})}
+}
+
+// Running reports whether a concurrent loop is in progress.
+func (b *CCB) Running() bool { return b.running }
+
+// Start broadcasts a concurrent loop.  Starting while a loop is
+// running indicates nested concurrency, which the cluster does not
+// support (matching the FX/8's single outer concurrent loop).
+func (b *CCB) Start(loop *Loop) {
+	if b.running {
+		panic("fx8: nested concurrent loop start on CCB")
+	}
+	b.running = true
+	b.loop = loop
+	b.trips = loop.Trips
+	b.next = 0
+	b.completed = 0
+	b.lastCE = -1
+	b.watermark = 0
+	clear(b.pending)
+	b.LoopsStarted++
+}
+
+// Take self-schedules the next iteration to the requesting CE.  It
+// returns ok=false when no iterations remain.
+func (b *CCB) Take(ce int) (iter int, ok bool) {
+	if !b.running || b.next >= b.trips {
+		return 0, false
+	}
+	iter = b.next
+	b.next++
+	if iter == b.trips-1 {
+		b.lastCE = ce
+	}
+	b.IterationsRun++
+	return iter, true
+}
+
+// Complete records that an iteration has finished executing and
+// reports whether the whole loop is now complete.
+func (b *CCB) Complete(iter int) (loopDone bool) {
+	b.completed++
+	return b.completed >= b.trips
+}
+
+// AllComplete reports whether every iteration has completed.
+func (b *CCB) AllComplete() bool { return b.completed >= b.trips }
+
+// LastCE returns the CE that executed the final iteration; the FX/8
+// resumes serial execution there.  It returns -1 when the final
+// iteration has not been dispatched (including zero-trip loops).
+func (b *CCB) LastCE() int { return b.lastCE }
+
+// Finish returns the CCB to the idle state after the cluster has
+// transferred serial execution.
+func (b *CCB) Finish() {
+	b.running = false
+	b.loop = nil
+}
+
+// Advance publishes completion of dependence stage iter.
+func (b *CCB) Advance(iter int) {
+	b.AdvanceOps++
+	if iter == b.watermark {
+		b.watermark++
+		for {
+			if _, ok := b.pending[b.watermark]; !ok {
+				break
+			}
+			delete(b.pending, b.watermark)
+			b.watermark++
+		}
+		return
+	}
+	if iter > b.watermark {
+		b.pending[iter] = struct{}{}
+	}
+}
+
+// StageReached reports whether dependence stage iter has been
+// published.  Negative stages are vacuously reached, so iteration i of
+// a distance-d loop can Await(i-d) unconditionally.
+func (b *CCB) StageReached(iter int) bool {
+	return iter < b.watermark
+}

@@ -1,0 +1,150 @@
+package fx8
+
+import "testing"
+
+func TestCCBStartTake(t *testing.T) {
+	b := NewCCB()
+	if b.Running() {
+		t.Fatal("new CCB should be idle")
+	}
+	loop := &Loop{Trips: 3, Body: func(int) Stream { return &SliceStream{} }}
+	b.Start(loop)
+	if !b.Running() {
+		t.Fatal("CCB should be running after Start")
+	}
+	for want := 0; want < 3; want++ {
+		it, ok := b.Take(want % 2)
+		if !ok || it != want {
+			t.Fatalf("Take = (%d, %v), want (%d, true)", it, ok, want)
+		}
+	}
+	if _, ok := b.Take(0); ok {
+		t.Fatal("Take beyond trip count should fail")
+	}
+	if b.LastCE() != 2%2 {
+		t.Fatalf("LastCE = %d", b.LastCE())
+	}
+}
+
+func TestCCBComplete(t *testing.T) {
+	b := NewCCB()
+	b.Start(&Loop{Trips: 2, Body: func(int) Stream { return &SliceStream{} }})
+	b.Take(0)
+	b.Take(1)
+	if b.Complete(0) {
+		t.Fatal("loop should not be done after one completion")
+	}
+	if !b.Complete(1) {
+		t.Fatal("loop should be done after both completions")
+	}
+	if !b.AllComplete() {
+		t.Fatal("AllComplete should be true")
+	}
+	b.Finish()
+	if b.Running() {
+		t.Fatal("Finish should stop the loop")
+	}
+}
+
+func TestCCBNestedStartPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested Start should panic")
+		}
+	}()
+	b := NewCCB()
+	l := &Loop{Trips: 1, Body: func(int) Stream { return &SliceStream{} }}
+	b.Start(l)
+	b.Start(l)
+}
+
+func TestCCBTakeWhenIdle(t *testing.T) {
+	b := NewCCB()
+	if _, ok := b.Take(0); ok {
+		t.Fatal("Take on idle CCB should fail")
+	}
+}
+
+func TestCCBDependenceInOrder(t *testing.T) {
+	b := NewCCB()
+	b.Start(&Loop{Trips: 4, Body: func(int) Stream { return &SliceStream{} }})
+	if b.StageReached(0) {
+		t.Fatal("no stage published yet")
+	}
+	if !b.StageReached(-1) {
+		t.Fatal("negative stages are vacuously reached")
+	}
+	b.Advance(0)
+	if !b.StageReached(0) || b.StageReached(1) {
+		t.Fatal("watermark should be exactly 1")
+	}
+	b.Advance(1)
+	if !b.StageReached(1) {
+		t.Fatal("stage 1 published")
+	}
+}
+
+func TestCCBDependenceOutOfOrder(t *testing.T) {
+	b := NewCCB()
+	b.Start(&Loop{Trips: 5, Body: func(int) Stream { return &SliceStream{} }})
+	// Iterations 2 and 1 advance before 0: the watermark must hold
+	// until 0 arrives, then jump over the parked stages.
+	b.Advance(2)
+	b.Advance(1)
+	if b.StageReached(0) || b.StageReached(1) {
+		t.Fatal("no stage should be reached before iteration 0 advances")
+	}
+	b.Advance(0)
+	if !b.StageReached(2) {
+		t.Fatal("watermark should jump to 3 after the gap fills")
+	}
+	if b.StageReached(3) {
+		t.Fatal("stage 3 not yet published")
+	}
+}
+
+func TestCCBStartResetsDependence(t *testing.T) {
+	b := NewCCB()
+	mk := func(trips int) *Loop {
+		return &Loop{Trips: trips, Body: func(int) Stream { return &SliceStream{} }}
+	}
+	b.Start(mk(2))
+	b.Advance(0)
+	b.Advance(1)
+	b.Take(0)
+	b.Take(0)
+	b.Complete(0)
+	b.Complete(1)
+	b.Finish()
+
+	b.Start(mk(2))
+	if b.StageReached(0) {
+		t.Fatal("dependence state should reset between loops")
+	}
+}
+
+func TestCCBZeroTripLoop(t *testing.T) {
+	b := NewCCB()
+	b.Start(&Loop{Trips: 0, Body: func(int) Stream { return &SliceStream{} }})
+	if _, ok := b.Take(0); ok {
+		t.Fatal("zero-trip loop should dispatch nothing")
+	}
+	if b.LastCE() != -1 {
+		t.Fatal("no last CE for zero-trip loop")
+	}
+	if !b.AllComplete() {
+		t.Fatal("zero-trip loop is vacuously complete")
+	}
+}
+
+func TestCCBStats(t *testing.T) {
+	b := NewCCB()
+	b.Start(&Loop{Trips: 2, Body: func(int) Stream { return &SliceStream{} }})
+	b.Take(0)
+	b.Take(1)
+	b.Advance(0)
+	if b.LoopsStarted != 1 || b.IterationsRun != 2 || b.AdvanceOps != 1 {
+		t.Fatalf("stats = %d loops, %d iters, %d advances",
+			b.LoopsStarted, b.IterationsRun, b.AdvanceOps)
+	}
+}

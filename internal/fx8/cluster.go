@@ -1,0 +1,284 @@
+package fx8
+
+import (
+	"errors"
+	"math/rand/v2"
+
+	"repro/internal/trace"
+)
+
+// Cluster is the simulated Computational Cluster: the CEs, shared
+// cache, crossbar, memory buses, CCB and IPs assembled per a Config,
+// stepped one bus cycle at a time.
+//
+// An operating system layer installs one cluster process at a time via
+// Run; the process's serial thread executes on one CE and concurrent
+// loops fan out over the CCB.  Snapshot exposes the probe wires after
+// each Step.
+type Cluster struct {
+	cfg       Config
+	cycle     uint64
+	lineShift uint
+
+	ces   []*CE
+	cache *SharedCache
+	mem   *MemSystem
+	ccb   *CCB
+	ips   []*IP
+	mmu   MMU
+
+	serialStream Stream
+	clusterSize  int
+	running      bool
+
+	// Arbitration scratch (reused each cycle).
+	reqBuf   []*CE
+	capacity []int
+}
+
+// New builds a cluster from cfg.  It panics on an invalid
+// configuration; use cfg.Validate first when the configuration is not
+// statically known.
+func New(cfg Config) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	lineShift := uint(0)
+	for 1<<lineShift < cfg.LineBytes {
+		lineShift++
+	}
+	cl := &Cluster{
+		cfg:       cfg,
+		lineShift: lineShift,
+		cache:     NewSharedCache(cfg),
+		mem:       NewMemSystem(cfg.MemBuses),
+		ccb:       NewCCB(),
+		capacity:  make([]int, cfg.SharedModules),
+	}
+	for i := 0; i < cfg.NumCE; i++ {
+		cl.ces = append(cl.ces, newCE(i, cfg))
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x1F8))
+	for i := 0; i < cfg.NumIP; i++ {
+		cl.ips = append(cl.ips, newIP(i, rng.Uint64()))
+	}
+	return cl
+}
+
+// Config returns the cluster's configuration.
+func (cl *Cluster) Config() Config { return cl.cfg }
+
+// Cache exposes the shared cache for statistics inspection.
+func (cl *Cluster) Cache() *SharedCache { return cl.cache }
+
+// Mem exposes the memory system for statistics inspection.
+func (cl *Cluster) Mem() *MemSystem { return cl.mem }
+
+// CCBus exposes the concurrency control bus for statistics inspection.
+func (cl *Cluster) CCBus() *CCB { return cl.ccb }
+
+// CE returns computational element i.
+func (cl *Cluster) CE(i int) *CE { return cl.ces[i] }
+
+// Cycle returns the number of cycles executed.
+func (cl *Cluster) Cycle() uint64 { return cl.cycle }
+
+// SetMMU installs the operating system's virtual memory hook.
+func (cl *Cluster) SetMMU(m MMU) { cl.mmu = m }
+
+// ErrBusy is returned by Run when a process is already installed.
+var ErrBusy = errors.New("fx8: cluster already running a process")
+
+// Run installs a cluster process: its serial thread begins on CE 0 and
+// concurrent loops may fan out over up to clusterSize CEs (clamped to
+// the configured CE count), matching Concentrix's cluster-with-k-CEs
+// resource classes.
+func (cl *Cluster) Run(serial Stream, clusterSize int) error {
+	if cl.running {
+		return ErrBusy
+	}
+	if clusterSize < 1 {
+		clusterSize = 1
+	}
+	if clusterSize > cl.cfg.NumCE {
+		clusterSize = cl.cfg.NumCE
+	}
+	cl.clusterSize = clusterSize
+	cl.running = true
+	ce := cl.ces[0]
+	ce.reset()
+	ce.mode = ceSerial
+	ce.stream = serial
+	return nil
+}
+
+// Idle reports whether no process is installed.
+func (cl *Cluster) Idle() bool { return !cl.running }
+
+// InConcurrentLoop reports whether a concurrent loop is executing.
+func (cl *Cluster) InConcurrentLoop() bool { return cl.ccb.Running() }
+
+// Preempt removes the current process at a serial point and returns
+// its serial stream so a scheduler can reinstall it later.  Preemption
+// during a concurrent loop is refused (ok=false): Concentrix
+// deschedules cluster jobs between, not inside, concurrent operations.
+func (cl *Cluster) Preempt() (serial Stream, ok bool) {
+	if !cl.running || cl.ccb.Running() {
+		return nil, false
+	}
+	for _, ce := range cl.ces {
+		if ce.mode == ceSerial {
+			s := ce.stream
+			if ce.hasCur {
+				// The CE had already pulled an instruction from the
+				// stream; requeue it so no work is lost across the
+				// context switch.
+				s = &ConcatStream{Streams: []Stream{
+					&SliceStream{Instrs: []Instr{ce.cur}},
+					s,
+				}}
+			}
+			ce.reset()
+			cl.running = false
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Step executes one bus cycle: crossbar arbitration, then every CE,
+// then the IPs.
+func (cl *Cluster) Step() {
+	cl.arbitrate()
+	for _, ce := range cl.ces {
+		ce.step(cl)
+	}
+	for _, ip := range cl.ips {
+		ip.step(cl)
+	}
+	cl.cycle++
+}
+
+// StepN executes n cycles.
+func (cl *Cluster) StepN(n int) {
+	for i := 0; i < n; i++ {
+		cl.Step()
+	}
+}
+
+// arbitrate grants pending shared-cache lookups up to each module's
+// per-cycle capacity.  Contended grants go to the highest
+// (cycles-waited + configured bias); aging guarantees progress while
+// the bias reproduces the machine's priority asymmetry.
+func (cl *Cluster) arbitrate() {
+	for i := range cl.capacity {
+		cl.capacity[i] = cl.cfg.LookupsPerModule
+	}
+	reqs := cl.reqBuf[:0]
+	for _, ce := range cl.ces {
+		if ce.wantLookup && ce.stall == 0 && !ce.granted && ce.mode != ceIdle {
+			reqs = append(reqs, ce)
+		}
+	}
+	cl.reqBuf = reqs
+	// Insertion sort by descending score; ties break by CE id for
+	// determinism.  At most NumCE entries.
+	for i := 1; i < len(reqs); i++ {
+		for j := i; j > 0 && cl.score(reqs[j]) > cl.score(reqs[j-1]); j-- {
+			reqs[j], reqs[j-1] = reqs[j-1], reqs[j]
+		}
+	}
+	for _, ce := range reqs {
+		m := cl.cache.Module(ce.lookupAddr)
+		if cl.capacity[m] > 0 {
+			cl.capacity[m]--
+			ce.granted = true
+		}
+	}
+}
+
+func (cl *Cluster) score(ce *CE) int {
+	s := ce.waited
+	if cl.cfg.ArbBias != nil {
+		s += cl.cfg.ArbBias[ce.id]
+	}
+	return s
+}
+
+// ActiveCount returns the number of CEs currently active.
+func (cl *Cluster) ActiveCount() int {
+	n := 0
+	for _, ce := range cl.ces {
+		if ce.Active() {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot latches the probe wires for the cycle just executed: the
+// per-CE bus opcodes, the memory bus opcodes, and the per-CE activity
+// bits.  It is meaningful only after at least one Step.
+func (cl *Cluster) Snapshot() trace.Record {
+	var r trace.Record
+	if cl.cycle == 0 {
+		return r
+	}
+	now := cl.cycle - 1
+	for i, ce := range cl.ces {
+		if i >= trace.NumCE {
+			break
+		}
+		r.CE[i] = ce.busOp
+		r.Active[i] = ce.Active()
+	}
+	for b := 0; b < cl.mem.NumBuses() && b < trace.NumMemBus; b++ {
+		r.Mem[b] = cl.mem.OpAt(b, now)
+	}
+	return r
+}
+
+// beginLoop starts a concurrent loop from serial CE ce: the serial
+// stream parks, the CCB broadcasts the loop, and the starting CE
+// self-schedules the first iteration.  Zero-trip loops fall straight
+// through to serial continuation.
+func (cl *Cluster) beginLoop(loop *Loop, ce *CE) {
+	cl.ccb.Start(loop)
+	cl.serialStream = ce.stream
+	ce.stream = nil
+	if loop.Trips <= 0 {
+		cl.ccb.Finish()
+		ce.stream = cl.serialStream
+		cl.serialStream = nil
+		ce.stall = cl.cfg.CStartCycles
+		return
+	}
+	it, _ := cl.ccb.Take(ce.id)
+	ce.iter = it
+	ce.stream = loop.Body(it)
+	ce.mode = ceConc
+	ce.stall = cl.cfg.CStartCycles
+}
+
+// endLoop resumes serial execution on the CE that ran the final
+// iteration.
+func (cl *Cluster) endLoop() {
+	last := cl.ccb.LastCE()
+	cl.ccb.Finish()
+	for _, ce := range cl.ces {
+		if ce.mode == ceBarrier || ce.mode == ceConc {
+			ce.mode = ceIdle
+			ce.stream = nil
+		}
+	}
+	ce := cl.ces[last]
+	ce.mode = ceSerial
+	ce.stream = cl.serialStream
+	cl.serialStream = nil
+}
+
+// processDone marks the installed process finished (its serial stream
+// is exhausted).
+func (cl *Cluster) processDone() {
+	cl.running = false
+}

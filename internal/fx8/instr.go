@@ -1,0 +1,124 @@
+package fx8
+
+// Op is an instruction class executed by a CE.  The simulator models
+// instruction cost and bus behaviour, not semantics: compute classes
+// consume cycles, memory classes generate shared-cache traffic, and
+// the concurrency classes drive the Concurrency Control Bus.
+type Op uint8
+
+// Instruction classes.
+const (
+	// OpCompute performs N cycles of scalar register-to-register
+	// work; no CE bus activity.
+	OpCompute Op = iota
+
+	// OpLoad and OpStore access the shared data cache at Addr.
+	OpLoad
+	OpStore
+
+	// OpVLoad and OpVStore stream N vector elements starting at
+	// Addr, occupying the CE bus one element per cycle and performing
+	// a cache lookup at each line crossing.
+	OpVLoad
+	OpVStore
+
+	// OpVCompute performs N cycles of vector register work; no CE
+	// bus activity.
+	OpVCompute
+
+	// OpCStart begins a concurrent loop described by Loop.  Idle CEs
+	// of the cluster join and iterations are self-scheduled over the
+	// CCB.
+	OpCStart
+
+	// OpAdvance publishes completion of dependence stage N (the
+	// iteration number) on the CCB; OpAwait blocks until stage N has
+	// been published.  Together they implement compiler-generated DO
+	// loop synchronization.  Waiting occupies no bus cycles.
+	OpAdvance
+	OpAwait
+)
+
+// Instr is one instruction as seen by a CE.
+type Instr struct {
+	Op    Op
+	Addr  uint32 // data address for memory classes
+	IAddr uint32 // code address, checked against the private icache
+	N     int32  // cycles (compute), elements (vector), stage (await/advance)
+	Loop  *Loop  // loop descriptor for OpCStart
+}
+
+// Stream is a source of instructions.  A CE pulls from its current
+// stream; exhaustion of the serial stream terminates the process,
+// exhaustion of a loop-body stream completes the iteration.
+type Stream interface {
+	// Next returns the next instruction, or ok=false when the stream
+	// is exhausted.
+	Next() (Instr, bool)
+}
+
+// Loop describes a concurrent DO loop: its trip count, the body
+// executed for each iteration, and an optional loop-carried dependence
+// distance (enforced by the body via OpAwait/OpAdvance).
+type Loop struct {
+	// Trips is the total number of iterations.
+	Trips int
+
+	// Body returns the instruction stream of one iteration.  It is
+	// invoked once per iteration, on the CE the iteration was
+	// self-scheduled to.
+	Body func(iter int) Stream
+}
+
+// SliceStream adapts a fixed instruction slice to the Stream
+// interface.
+type SliceStream struct {
+	Instrs []Instr
+	pos    int
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Instr, bool) {
+	if s.pos >= len(s.Instrs) {
+		return Instr{}, false
+	}
+	in := s.Instrs[s.pos]
+	s.pos++
+	return in, true
+}
+
+// Reset rewinds the stream to its beginning.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// FuncStream adapts a generator function to the Stream interface.
+type FuncStream func() (Instr, bool)
+
+// Next implements Stream.
+func (f FuncStream) Next() (Instr, bool) { return f() }
+
+// ConcatStream yields the instructions of each source stream in turn.
+type ConcatStream struct {
+	Streams []Stream
+	pos     int
+}
+
+// Next implements Stream.
+func (c *ConcatStream) Next() (Instr, bool) {
+	for c.pos < len(c.Streams) {
+		if in, ok := c.Streams[c.pos].Next(); ok {
+			return in, true
+		}
+		c.pos++
+	}
+	return Instr{}, false
+}
+
+// MMU is the hook by which an operating system layer imposes virtual
+// memory behaviour on CE data accesses.  Touch is consulted once per
+// cache lookup with the accessing CE and byte address; a nonzero
+// return stalls the CE for that many cycles (a page fault being
+// serviced).  Implementations are responsible for their own fault
+// accounting.
+type MMU interface {
+	Touch(ce int, addr uint32) (stallCycles int)
+}

@@ -1,0 +1,60 @@
+package fx8
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/trace"
+)
+
+// IP is an Interactive Processor: the 68012-based front-end processors
+// that handle interactive load, operating system functions and I/O
+// through their own caches.  For the cluster measures they matter as
+// background memory-bus traffic and as the occasional coherence
+// invalidation of a shared-cache line (the unique-copy rule), so the
+// model is a seeded stochastic traffic source.
+type IP struct {
+	id        int
+	rng       *rand.Rand
+	busyUntil uint64
+
+	// Statistics.
+	Transactions  uint64
+	Invalidations uint64
+}
+
+func newIP(id int, seed uint64) *IP {
+	return &IP{id: id, rng: rand.New(rand.NewPCG(seed, uint64(id)+0xA5))}
+}
+
+// memSpan is the modelled physical memory the IPs touch (the machine
+// maxes out at 64 MB).
+const memSpan = 64 << 20
+
+// step possibly issues one memory-bus transaction for this IP.
+func (ip *IP) step(cl *Cluster) {
+	if cl.cycle < ip.busyUntil {
+		return
+	}
+	if ip.rng.IntN(1000) >= cl.cfg.IPActivity {
+		return
+	}
+	write := ip.rng.IntN(4) == 0 // reads dominate interactive work
+	op := trace.MemIPRead
+	if write {
+		op = trace.MemIPWrite
+	}
+	bus := ip.rng.IntN(cl.mem.NumBuses())
+	end := cl.mem.Enqueue(bus, op, 2, cl.cycle)
+	ip.busyUntil = end
+	ip.Transactions++
+
+	if write && ip.rng.IntN(1000) < cl.cfg.IPInvalidate {
+		// Unique-copy coherence: an IP write may steal a line from
+		// the CE cache, which appears as an invalidate transaction.
+		addr := uint32(ip.rng.Uint64() % memSpan)
+		if cl.cache.Invalidate(addr) {
+			cl.mem.Enqueue(bus, trace.MemInval, 1, end)
+			ip.Invalidations++
+		}
+	}
+}

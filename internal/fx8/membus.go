@@ -1,0 +1,74 @@
+package fx8
+
+import "repro/internal/trace"
+
+// MemSystem models the two 64-bit data buses between the caches and
+// four-way-interleaved main memory.  Transactions on a bus are served
+// first-come first-served; each occupies the bus for a fixed number of
+// cycles.  The per-cycle bus opcode is the wire the study's monitor
+// probed.
+type MemSystem struct {
+	buses []busQueue
+
+	// Statistics.
+	Transactions uint64
+	BusyCycles   uint64
+}
+
+type busQueue struct {
+	segs []busSeg // FIFO of scheduled occupancy segments
+}
+
+type busSeg struct {
+	op    trace.MemOp
+	start uint64
+	end   uint64 // exclusive
+}
+
+// NewMemSystem builds a memory system with n buses.
+func NewMemSystem(n int) *MemSystem {
+	return &MemSystem{buses: make([]busQueue, n)}
+}
+
+// NumBuses returns the number of memory buses.
+func (m *MemSystem) NumBuses() int { return len(m.buses) }
+
+// Enqueue schedules a transaction of the given opcode and duration on
+// the bus, beginning no earlier than now and no earlier than the end
+// of the bus's last queued transaction.  It returns the cycle at which
+// the transaction completes (exclusive).
+func (m *MemSystem) Enqueue(bus int, op trace.MemOp, dur int, now uint64) uint64 {
+	q := &m.buses[bus]
+	start := now
+	if n := len(q.segs); n > 0 && q.segs[n-1].end > start {
+		start = q.segs[n-1].end
+	}
+	end := start + uint64(dur)
+	q.segs = append(q.segs, busSeg{op: op, start: start, end: end})
+	m.Transactions++
+	m.BusyCycles += uint64(dur)
+	return end
+}
+
+// OpAt returns the opcode driven on the bus during the given cycle,
+// discarding expired segments as it goes.  Cycles must be queried in
+// non-decreasing order per bus.
+func (m *MemSystem) OpAt(bus int, cycle uint64) trace.MemOp {
+	q := &m.buses[bus]
+	for len(q.segs) > 0 && q.segs[0].end <= cycle {
+		q.segs = q.segs[1:]
+	}
+	if len(q.segs) > 0 && q.segs[0].start <= cycle {
+		return q.segs[0].op
+	}
+	return trace.MemIdle
+}
+
+// QueueDepth returns the number of pending or in-flight transactions
+// on the bus.
+func (m *MemSystem) QueueDepth(bus int) int { return len(m.buses[bus].segs) }
+
+// BusFor maps a cache module to its memory bus: module i uses bus
+// i mod buses, matching the FX/8's pairing of cache modules with
+// memory buses.
+func (m *MemSystem) BusFor(module int) int { return module % len(m.buses) }

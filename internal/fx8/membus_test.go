@@ -1,0 +1,100 @@
+package fx8
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestMemSystemImmediateService(t *testing.T) {
+	m := NewMemSystem(2)
+	end := m.Enqueue(0, trace.MemRead, 12, 100)
+	if end != 112 {
+		t.Fatalf("end = %d, want 112", end)
+	}
+	if op := m.OpAt(0, 100); op != trace.MemRead {
+		t.Errorf("OpAt(100) = %v", op)
+	}
+	if op := m.OpAt(0, 111); op != trace.MemRead {
+		t.Errorf("OpAt(111) = %v", op)
+	}
+	if op := m.OpAt(0, 112); op != trace.MemIdle {
+		t.Errorf("OpAt(112) = %v, want idle", op)
+	}
+}
+
+func TestMemSystemQueueing(t *testing.T) {
+	m := NewMemSystem(1)
+	e1 := m.Enqueue(0, trace.MemRead, 10, 0)
+	e2 := m.Enqueue(0, trace.MemWrite, 5, 0)
+	if e1 != 10 || e2 != 15 {
+		t.Fatalf("ends = %d %d, want 10 15", e1, e2)
+	}
+	if op := m.OpAt(0, 3); op != trace.MemRead {
+		t.Errorf("during first txn OpAt = %v", op)
+	}
+	if op := m.OpAt(0, 12); op != trace.MemWrite {
+		t.Errorf("during second txn OpAt = %v", op)
+	}
+	if op := m.OpAt(0, 20); op != trace.MemIdle {
+		t.Errorf("after queue drained OpAt = %v", op)
+	}
+	if m.QueueDepth(0) != 0 {
+		t.Errorf("queue depth = %d after drain", m.QueueDepth(0))
+	}
+}
+
+func TestMemSystemBusIndependence(t *testing.T) {
+	m := NewMemSystem(2)
+	m.Enqueue(0, trace.MemRead, 10, 0)
+	end := m.Enqueue(1, trace.MemWrite, 10, 0)
+	if end != 10 {
+		t.Fatalf("second bus should not queue behind the first: end = %d", end)
+	}
+}
+
+func TestMemSystemGapThenIdle(t *testing.T) {
+	m := NewMemSystem(1)
+	m.Enqueue(0, trace.MemRead, 4, 10)
+	if op := m.OpAt(0, 5); op != trace.MemIdle {
+		t.Errorf("before scheduled start OpAt = %v, want idle", op)
+	}
+	if op := m.OpAt(0, 10); op != trace.MemRead {
+		t.Errorf("at start OpAt = %v", op)
+	}
+}
+
+func TestMemSystemStats(t *testing.T) {
+	m := NewMemSystem(2)
+	m.Enqueue(0, trace.MemRead, 12, 0)
+	m.Enqueue(1, trace.MemWrite, 6, 0)
+	if m.Transactions != 2 {
+		t.Errorf("Transactions = %d", m.Transactions)
+	}
+	if m.BusyCycles != 18 {
+		t.Errorf("BusyCycles = %d", m.BusyCycles)
+	}
+}
+
+func TestMemSystemBusFor(t *testing.T) {
+	m := NewMemSystem(2)
+	if m.BusFor(0) != 0 || m.BusFor(1) != 1 {
+		t.Error("modules should pair with buses")
+	}
+	m1 := NewMemSystem(1)
+	if m1.BusFor(1) != 0 {
+		t.Error("single-bus system should fold modules onto bus 0")
+	}
+}
+
+func TestMemSystemExpiredSegmentsDiscarded(t *testing.T) {
+	m := NewMemSystem(1)
+	for i := 0; i < 100; i++ {
+		m.Enqueue(0, trace.MemRead, 1, uint64(i*10))
+	}
+	// Querying far in the future drains the queue.
+	m.OpAt(0, 1e6)
+	if d := m.QueueDepth(0); d != 0 {
+		t.Errorf("queue depth after drain = %d", d)
+	}
+}

@@ -1,0 +1,337 @@
+// Package fxasm assembles and disassembles fx8 instruction streams in
+// a small textual format, so tests, examples and tools can write
+// programs for the simulated machine legibly:
+//
+//	compute 12
+//	load    0x1000
+//	vload   0x2000, 32
+//	cstart  trips=10 dep=2 body=body1
+//	await   -1
+//	advance 0
+//
+// Loop bodies are named blocks defined with "body NAME" ... "end";
+// cstart references them.  Iteration-dependent operands use the
+// placeholder "@" for the iteration number in await/advance stages:
+// "await @-2" awaits stage iter-2, "advance @" publishes stage iter.
+package fxasm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/fx8"
+)
+
+// Program is an assembled program: the serial instruction list and
+// its named loop bodies.
+type Program struct {
+	Serial []fx8.Instr
+	Bodies map[string][]bodyInstr
+}
+
+// bodyInstr is one body instruction with optional iteration-relative
+// stage operands.
+type bodyInstr struct {
+	in       fx8.Instr
+	iterRel  bool // N = iter + iterOff at body build time
+	iterOff  int32
+	addrIter bool // Addr += iter * addrStride
+	stride   uint32
+}
+
+// Stream returns a fresh serial stream of the program.
+func (p *Program) Stream() fx8.Stream {
+	return &fx8.SliceStream{Instrs: append([]fx8.Instr(nil), p.Serial...)}
+}
+
+// Assemble parses the textual form.
+func Assemble(r io.Reader) (*Program, error) {
+	p := &Program{Bodies: map[string][]bodyInstr{}}
+	sc := bufio.NewScanner(r)
+	var curBody string
+	line := 0
+	// cstart fixups: instruction index -> body name + trips/dep.
+	type fixup struct {
+		idx   int
+		body  string
+		trips int
+		dep   int
+	}
+	var fixups []fixup
+
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.FieldsFunc(text, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == ','
+		})
+		op := strings.ToLower(fields[0])
+		args := fields[1:]
+
+		switch op {
+		case "body":
+			if curBody != "" {
+				return nil, fmt.Errorf("line %d: nested body", line)
+			}
+			if len(args) != 1 {
+				return nil, fmt.Errorf("line %d: body needs a name", line)
+			}
+			curBody = args[0]
+			if _, dup := p.Bodies[curBody]; dup {
+				return nil, fmt.Errorf("line %d: duplicate body %q", line, curBody)
+			}
+			p.Bodies[curBody] = nil
+			continue
+		case "end":
+			if curBody == "" {
+				return nil, fmt.Errorf("line %d: end outside body", line)
+			}
+			curBody = ""
+			continue
+		case "cstart":
+			if curBody != "" {
+				return nil, fmt.Errorf("line %d: cstart inside body", line)
+			}
+			f := fixup{idx: len(p.Serial)}
+			for _, a := range args {
+				k, v, ok := strings.Cut(a, "=")
+				if !ok {
+					return nil, fmt.Errorf("line %d: cstart arg %q", line, a)
+				}
+				switch k {
+				case "trips":
+					n, err := strconv.Atoi(v)
+					if err != nil {
+						return nil, fmt.Errorf("line %d: trips: %v", line, err)
+					}
+					f.trips = n
+				case "dep":
+					n, err := strconv.Atoi(v)
+					if err != nil {
+						return nil, fmt.Errorf("line %d: dep: %v", line, err)
+					}
+					f.dep = n
+				case "body":
+					f.body = v
+				default:
+					return nil, fmt.Errorf("line %d: unknown cstart arg %q", line, k)
+				}
+			}
+			if f.body == "" {
+				return nil, fmt.Errorf("line %d: cstart needs body=", line)
+			}
+			fixups = append(fixups, f)
+			p.Serial = append(p.Serial, fx8.Instr{Op: fx8.OpCStart})
+			continue
+		}
+
+		bi, err := parseInstr(op, args, line)
+		if err != nil {
+			return nil, err
+		}
+		if curBody != "" {
+			p.Bodies[curBody] = append(p.Bodies[curBody], bi)
+		} else {
+			if bi.iterRel || bi.addrIter {
+				return nil, fmt.Errorf("line %d: iteration-relative operand outside body", line)
+			}
+			p.Serial = append(p.Serial, bi.in)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if curBody != "" {
+		return nil, fmt.Errorf("unterminated body %q", curBody)
+	}
+	for _, f := range fixups {
+		body, ok := p.Bodies[f.body]
+		if !ok {
+			return nil, fmt.Errorf("cstart references unknown body %q", f.body)
+		}
+		p.Serial[f.idx].Loop = buildLoop(f.trips, body)
+	}
+	return p, nil
+}
+
+// AssembleString is Assemble over a string.
+func AssembleString(s string) (*Program, error) {
+	return Assemble(strings.NewReader(s))
+}
+
+func buildLoop(trips int, body []bodyInstr) *fx8.Loop {
+	return &fx8.Loop{
+		Trips: trips,
+		Body: func(iter int) fx8.Stream {
+			instrs := make([]fx8.Instr, len(body))
+			for i, bi := range body {
+				in := bi.in
+				if bi.iterRel {
+					in.N = int32(iter) + bi.iterOff
+				}
+				if bi.addrIter {
+					in.Addr += uint32(iter) * bi.stride
+				}
+				instrs[i] = in
+			}
+			return &fx8.SliceStream{Instrs: instrs}
+		},
+	}
+}
+
+// parseInstr parses one non-structural instruction.
+func parseInstr(op string, args []string, line int) (bodyInstr, error) {
+	var bi bodyInstr
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("line %d: %s needs %d operand(s)", line, op, n)
+		}
+		return nil
+	}
+	num := func(s string) (int64, error) {
+		return strconv.ParseInt(s, 0, 64)
+	}
+	switch op {
+	case "compute", "vcompute":
+		if err := need(1); err != nil {
+			return bi, err
+		}
+		n, err := num(args[0])
+		if err != nil {
+			return bi, fmt.Errorf("line %d: %v", line, err)
+		}
+		bi.in.Op = fx8.OpCompute
+		if op == "vcompute" {
+			bi.in.Op = fx8.OpVCompute
+		}
+		bi.in.N = int32(n)
+	case "load", "store":
+		if len(args) < 1 || len(args) > 2 {
+			return bi, fmt.Errorf("line %d: %s needs addr [, @*stride]", line, op)
+		}
+		a, err := num(args[0])
+		if err != nil {
+			return bi, fmt.Errorf("line %d: %v", line, err)
+		}
+		bi.in.Op = fx8.OpLoad
+		if op == "store" {
+			bi.in.Op = fx8.OpStore
+		}
+		bi.in.Addr = uint32(a)
+		if len(args) == 2 {
+			stride, ok := strings.CutPrefix(args[1], "@*")
+			if !ok {
+				return bi, fmt.Errorf("line %d: second operand must be @*stride", line)
+			}
+			sv, err := num(stride)
+			if err != nil {
+				return bi, fmt.Errorf("line %d: %v", line, err)
+			}
+			bi.addrIter = true
+			bi.stride = uint32(sv)
+		}
+	case "vload", "vstore":
+		if len(args) < 2 || len(args) > 3 {
+			return bi, fmt.Errorf("line %d: %s needs addr, n [, @*stride]", line, op)
+		}
+		a, err := num(args[0])
+		if err != nil {
+			return bi, fmt.Errorf("line %d: %v", line, err)
+		}
+		n, err := num(args[1])
+		if err != nil {
+			return bi, fmt.Errorf("line %d: %v", line, err)
+		}
+		bi.in.Op = fx8.OpVLoad
+		if op == "vstore" {
+			bi.in.Op = fx8.OpVStore
+		}
+		bi.in.Addr = uint32(a)
+		bi.in.N = int32(n)
+		if len(args) == 3 {
+			stride, ok := strings.CutPrefix(args[2], "@*")
+			if !ok {
+				return bi, fmt.Errorf("line %d: third operand must be @*stride", line)
+			}
+			sv, err := num(stride)
+			if err != nil {
+				return bi, fmt.Errorf("line %d: %v", line, err)
+			}
+			bi.addrIter = true
+			bi.stride = uint32(sv)
+		}
+	case "await", "advance":
+		if err := need(1); err != nil {
+			return bi, err
+		}
+		bi.in.Op = fx8.OpAwait
+		if op == "advance" {
+			bi.in.Op = fx8.OpAdvance
+		}
+		arg := args[0]
+		if rest, ok := strings.CutPrefix(arg, "@"); ok {
+			bi.iterRel = true
+			if rest == "" {
+				bi.iterOff = 0
+			} else {
+				off, err := num(rest)
+				if err != nil {
+					return bi, fmt.Errorf("line %d: %v", line, err)
+				}
+				bi.iterOff = int32(off)
+			}
+		} else {
+			n, err := num(arg)
+			if err != nil {
+				return bi, fmt.Errorf("line %d: %v", line, err)
+			}
+			bi.in.N = int32(n)
+		}
+	default:
+		return bi, fmt.Errorf("line %d: unknown mnemonic %q", line, op)
+	}
+	return bi, nil
+}
+
+// Disassemble renders an instruction list in the assembler's format.
+func Disassemble(instrs []fx8.Instr) string {
+	var b strings.Builder
+	for _, in := range instrs {
+		switch in.Op {
+		case fx8.OpCompute:
+			fmt.Fprintf(&b, "compute %d\n", in.N)
+		case fx8.OpVCompute:
+			fmt.Fprintf(&b, "vcompute %d\n", in.N)
+		case fx8.OpLoad:
+			fmt.Fprintf(&b, "load 0x%x\n", in.Addr)
+		case fx8.OpStore:
+			fmt.Fprintf(&b, "store 0x%x\n", in.Addr)
+		case fx8.OpVLoad:
+			fmt.Fprintf(&b, "vload 0x%x, %d\n", in.Addr, in.N)
+		case fx8.OpVStore:
+			fmt.Fprintf(&b, "vstore 0x%x, %d\n", in.Addr, in.N)
+		case fx8.OpAwait:
+			fmt.Fprintf(&b, "await %d\n", in.N)
+		case fx8.OpAdvance:
+			fmt.Fprintf(&b, "advance %d\n", in.N)
+		case fx8.OpCStart:
+			trips := 0
+			if in.Loop != nil {
+				trips = in.Loop.Trips
+			}
+			fmt.Fprintf(&b, "cstart trips=%d body=?\n", trips)
+		default:
+			fmt.Fprintf(&b, "?op%d\n", in.Op)
+		}
+	}
+	return b.String()
+}

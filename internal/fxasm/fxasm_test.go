@@ -1,0 +1,205 @@
+package fxasm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fx8"
+)
+
+const sample = `
+# A DAXPY-style program.
+compute 10
+load 0x100
+
+body strip
+  vload  0x2000, 32, @*256
+  vload  0x4000, 32, @*256
+  vcompute 32
+  vstore 0x4000, 32, @*256
+end
+
+cstart trips=8 body=strip
+compute 5
+`
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := AssembleString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Serial) != 4 {
+		t.Fatalf("serial instructions = %d, want 4", len(p.Serial))
+	}
+	if p.Serial[0].Op != fx8.OpCompute || p.Serial[0].N != 10 {
+		t.Errorf("instr 0 = %+v", p.Serial[0])
+	}
+	if p.Serial[1].Op != fx8.OpLoad || p.Serial[1].Addr != 0x100 {
+		t.Errorf("instr 1 = %+v", p.Serial[1])
+	}
+	cs := p.Serial[2]
+	if cs.Op != fx8.OpCStart || cs.Loop == nil || cs.Loop.Trips != 8 {
+		t.Fatalf("cstart = %+v", cs)
+	}
+}
+
+func TestAssembledIterationStrides(t *testing.T) {
+	p, err := AssembleString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := p.Serial[2].Loop
+	body0 := drainStream(loop.Body(0))
+	body3 := drainStream(loop.Body(3))
+	if body0[0].Addr != 0x2000 {
+		t.Errorf("iter 0 addr = %#x", body0[0].Addr)
+	}
+	if body3[0].Addr != 0x2000+3*256 {
+		t.Errorf("iter 3 addr = %#x, want %#x", body3[0].Addr, 0x2000+3*256)
+	}
+	if body3[3].Op != fx8.OpVStore || body3[3].Addr != 0x4000+3*256 {
+		t.Errorf("store addr = %+v", body3[3])
+	}
+}
+
+func TestAssembleDependence(t *testing.T) {
+	src := `
+body chain
+  await @-2
+  compute 4
+  advance @
+end
+cstart trips=6 body=chain
+`
+	p, err := AssembleString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := p.Serial[0].Loop
+	b4 := drainStream(loop.Body(4))
+	if b4[0].Op != fx8.OpAwait || b4[0].N != 2 {
+		t.Errorf("await = %+v, want stage 2", b4[0])
+	}
+	if b4[2].Op != fx8.OpAdvance || b4[2].N != 4 {
+		t.Errorf("advance = %+v, want stage 4", b4[2])
+	}
+}
+
+func TestAssembledProgramRuns(t *testing.T) {
+	p, err := AssembleString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fx8.DefaultConfig()
+	cfg.NumIP = 0
+	cl := fx8.New(cfg)
+	if err := cl.Run(p.Stream(), 8); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000 && !cl.Idle(); i++ {
+		cl.Step()
+	}
+	if !cl.Idle() {
+		t.Fatal("assembled program did not complete")
+	}
+	if cl.CCBus().IterationsRun != 8 {
+		t.Errorf("iterations = %d", cl.CCBus().IterationsRun)
+	}
+}
+
+func TestProgramStreamIsFresh(t *testing.T) {
+	p, err := AssembleString("compute 1\ncompute 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := p.Stream()
+	s1.Next()
+	s1.Next()
+	s2 := p.Stream()
+	if in, ok := s2.Next(); !ok || in.N != 1 {
+		t.Error("second stream should start from the beginning")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic":    "frobnicate 1",
+		"nested body":         "body a\nbody b\nend\nend",
+		"end outside":         "end",
+		"unterminated":        "body a\ncompute 1",
+		"dup body":            "body a\nend\nbody a\nend",
+		"unknown cstart body": "cstart trips=1 body=missing",
+		"cstart in body":      "body a\ncstart trips=1 body=a\nend",
+		"bad trips":           "body a\nend\ncstart trips=x body=a",
+		"missing body arg":    "cstart trips=3",
+		"bad cstart arg":      "cstart trips=1 frob=2 body=a",
+		"malformed cstart":    "cstart trips",
+		"compute no operand":  "compute",
+		"bad number":          "load zzz",
+		"iter outside body":   "await @",
+		"bad stride":          "body a\nvload 0x0, 8, 9\nend",
+		"bad scalar stride":   "body a\nload 0x0, 9\nend",
+	}
+	for name, src := range cases {
+		if _, err := AssembleString(src); err == nil {
+			t.Errorf("%s: expected error for %q", name, src)
+		}
+	}
+}
+
+func TestAssembleCommentsAndBlanks(t *testing.T) {
+	p, err := AssembleString("# only a comment\n\n  \ncompute 3 # trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Serial) != 1 || p.Serial[0].N != 3 {
+		t.Errorf("serial = %+v", p.Serial)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := "compute 10\nload 0x100\nvload 0x2000, 32\nstore 0x8\nvstore 0x3000, 16\nawait 2\nadvance 3\nvcompute 7\n"
+	p, err := AssembleString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Disassemble(p.Serial)
+	p2, err := AssembleString(out)
+	if err != nil {
+		t.Fatalf("disassembly does not reassemble: %v\n%s", err, out)
+	}
+	if len(p2.Serial) != len(p.Serial) {
+		t.Fatalf("round trip length: %d vs %d", len(p2.Serial), len(p.Serial))
+	}
+	for i := range p.Serial {
+		if p.Serial[i] != p2.Serial[i] {
+			t.Errorf("instr %d differs: %+v vs %+v", i, p.Serial[i], p2.Serial[i])
+		}
+	}
+}
+
+func TestDisassembleCStart(t *testing.T) {
+	instrs := []fx8.Instr{{Op: fx8.OpCStart, Loop: &fx8.Loop{Trips: 5}}}
+	out := Disassemble(instrs)
+	if !strings.Contains(out, "cstart trips=5") {
+		t.Errorf("disassembly = %q", out)
+	}
+}
+
+func TestDisassembleUnknown(t *testing.T) {
+	out := Disassemble([]fx8.Instr{{Op: fx8.Op(99)}})
+	if !strings.Contains(out, "?op99") {
+		t.Errorf("disassembly = %q", out)
+	}
+}
+
+func drainStream(s fx8.Stream) []fx8.Instr {
+	var out []fx8.Instr
+	for {
+		in, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, in)
+	}
+}

@@ -1,0 +1,231 @@
+// Package integration exercises the full reproduction stack end to
+// end: workload generation -> OS -> machine -> monitor -> measures ->
+// models, plus cross-cutting properties (determinism, persistence
+// round trips, scaling invariants) that no single package can check.
+package integration
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/concentrix"
+	"repro/internal/core"
+	"repro/internal/fx8"
+	"repro/internal/monitor"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func buildSystem(seed uint64, span uint64) *concentrix.System {
+	cfg := fx8.DefaultConfig()
+	cfg.Seed = seed
+	cl := fx8.New(cfg)
+	sys := concentrix.NewSystem(cl, concentrix.DefaultSysConfig())
+	for _, p := range workload.NewGenerator(workload.PaperMix(seed)).Session(span) {
+		sys.Submit(p)
+	}
+	return sys
+}
+
+func TestFullStackDeterminism(t *testing.T) {
+	run := func() []trace.Record {
+		sys := buildSystem(33, 400_000)
+		recs := make([]trace.Record, 0, 50_000)
+		for i := 0; i < 50_000; i++ {
+			sys.Step()
+			recs = append(recs, sys.Cluster.Snapshot())
+		}
+		return recs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("full-stack divergence at cycle %d", i)
+		}
+	}
+}
+
+func TestSeedsProduceDifferentWorkloads(t *testing.T) {
+	a := buildSystem(1, 400_000)
+	b := buildSystem(2, 400_000)
+	var diff int
+	for i := 0; i < 50_000; i++ {
+		a.Step()
+		b.Step()
+		if a.Cluster.Snapshot() != b.Cluster.Snapshot() {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestMonitorIsNonIntrusive(t *testing.T) {
+	// A monitored machine and an unmonitored one executing the same
+	// workload must follow identical trajectories: observation does
+	// not perturb execution.
+	bare := buildSystem(44, 400_000)
+	watched := buildSystem(44, 400_000)
+	das := monitor.NewDAS()
+	das.Arm(monitor.TriggerImmediate)
+	for i := 0; i < 50_000; i++ {
+		bare.Step()
+		watched.Step()
+		das.Observe(watched.Cluster.Snapshot())
+		if !das.Armed() {
+			das.Arm(monitor.TriggerImmediate)
+		}
+		if bare.Cluster.Snapshot() != watched.Cluster.Snapshot() {
+			t.Fatalf("monitoring perturbed execution at cycle %d", i)
+		}
+	}
+}
+
+func TestSessionPersistenceRoundTrip(t *testing.T) {
+	spec := core.SessionSpec{
+		Samples:  4,
+		Sampling: monitor.SampleSpec{Snapshots: 3, GapCycles: 4_000},
+		Seed:     55,
+	}
+	ses := core.RunRandomSession(1, spec)
+
+	var buf bytes.Buffer
+	if err := monitor.WriteSession(&buf, monitor.TriggerImmediate, spec.Seed, ses.Samples); err != nil {
+		t.Fatal(err)
+	}
+	f, err := monitor.ReadSession(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measures computed from the decoded file must equal the live
+	// session's.
+	live := core.MeasuresFromCounts(ses.Total)
+	loaded := core.MeasuresFromCounts(f.Totals())
+	if math.Abs(live.Cw-loaded.Cw) > 1e-12 {
+		t.Errorf("Cw drift through persistence: %v vs %v", live.Cw, loaded.Cw)
+	}
+	if live.Defined != loaded.Defined || math.Abs(live.Pc-loaded.Pc) > 1e-12 {
+		t.Errorf("Pc drift through persistence")
+	}
+}
+
+func TestSampleMeasuresWithinBounds(t *testing.T) {
+	// Property over a real session: every sample's measures are in
+	// their legal ranges.
+	spec := core.SessionSpec{
+		Samples:  8,
+		Sampling: monitor.SampleSpec{Snapshots: 3, GapCycles: 6_000},
+		Seed:     66,
+	}
+	ses := core.RunRandomSession(1, spec)
+	for i, m := range ses.Measures {
+		if m.Conc.Cw < 0 || m.Conc.Cw > 1 {
+			t.Errorf("sample %d Cw = %v", i, m.Conc.Cw)
+		}
+		if m.Conc.Defined && (m.Conc.Pc < 2 || m.Conc.Pc > 8) {
+			t.Errorf("sample %d Pc = %v", i, m.Conc.Pc)
+		}
+		if m.BusBusy < 0 || m.BusBusy > 1 {
+			t.Errorf("sample %d BusBusy = %v", i, m.BusBusy)
+		}
+		if m.MissRate < 0 || m.MissRate > m.BusBusy+1e-12 {
+			t.Errorf("sample %d MissRate %v exceeds BusBusy %v", i, m.MissRate, m.BusBusy)
+		}
+		if m.PageFaultRate < 0 {
+			t.Errorf("sample %d fault rate = %v", i, m.PageFaultRate)
+		}
+	}
+}
+
+func TestTriggeredBuffersStartBelowEight(t *testing.T) {
+	spec := core.TriggeredSpec{
+		Mode:           monitor.TriggerTransition,
+		Samples:        4,
+		Buffers:        3,
+		BudgetCycles:   400_000,
+		Seed:           77,
+		WorkloadCycles: 2_000_000,
+	}
+	ts := core.RunTriggeredSession(1, spec)
+	if len(ts.Buffers) == 0 {
+		t.Skip("no transitions captured (seed-dependent)")
+	}
+	for i, buf := range ts.Buffers {
+		if got := buf[0].ActiveCount(); got >= 8 {
+			t.Errorf("buffer %d trigger record has %d active", i, got)
+		}
+	}
+}
+
+func TestAll8BuffersStartAtEight(t *testing.T) {
+	spec := core.TriggeredSpec{
+		Mode:           monitor.TriggerAll8,
+		Samples:        4,
+		Buffers:        3,
+		BudgetCycles:   400_000,
+		Seed:           88,
+		WorkloadCycles: 2_000_000,
+	}
+	ts := core.RunTriggeredSession(1, spec)
+	if len(ts.Buffers) == 0 {
+		t.Skip("no captures (seed-dependent)")
+	}
+	for i, buf := range ts.Buffers {
+		if got := buf[0].ActiveCount(); got != 8 {
+			t.Errorf("buffer %d trigger record has %d active, want 8", i, got)
+		}
+	}
+}
+
+func TestKernelUnderProductionLoad(t *testing.T) {
+	// A named kernel submitted amid a production session still
+	// completes, and its iterations all run.
+	sys := buildSystem(99, 600_000)
+	layout := workload.KernelLayout{Base: 0xC000000, CodeBase: 0xC010000, Seed: 9}
+	kernel := &concentrix.Process{
+		PID:         9999,
+		Name:        "daxpy-under-load",
+		ClusterSize: 8,
+		Serial:      workload.KernelProgram(workload.DAXPY(2048, layout), layout),
+		Arrival:     100_000,
+	}
+	sys.Submit(kernel)
+	for i := 0; i < 8_000_000 && !kernel.Done; i++ {
+		sys.Step()
+	}
+	if !kernel.Done {
+		t.Fatal("kernel never completed under load")
+	}
+	if kernel.DoneAt <= kernel.StartedAt {
+		t.Error("accounting wrong")
+	}
+}
+
+// TestScalingInvariant checks that doubling the sampling density does
+// not change the overall concurrency measures materially: the measures
+// are properties of the workload, not the instrument.
+func TestScalingInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep in -short mode")
+	}
+	measure := func(gap int, samples int) core.Concurrency {
+		spec := core.SessionSpec{
+			Samples:        samples,
+			Sampling:       monitor.SampleSpec{Snapshots: 5, GapCycles: gap},
+			Seed:           123,
+			WorkloadCycles: 3_000_000,
+		}
+		ses := core.RunRandomSession(1, spec)
+		return core.MeasuresFromCounts(ses.Total)
+	}
+	coarse := measure(20_000, 20)
+	fine := measure(10_000, 40)
+	if math.Abs(coarse.Cw-fine.Cw) > 0.15 {
+		t.Errorf("Cw instrument-dependent: %v vs %v", coarse.Cw, fine.Cw)
+	}
+	if coarse.Defined && fine.Defined && math.Abs(coarse.Pc-fine.Pc) > 0.8 {
+		t.Errorf("Pc instrument-dependent: %v vs %v", coarse.Pc, fine.Pc)
+	}
+}

@@ -1,0 +1,272 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/concentrix"
+	"repro/internal/fx8"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func recActive(n int) trace.Record {
+	var r trace.Record
+	for i := 0; i < n; i++ {
+		r.Active[i] = true
+		r.CE[i] = trace.CERead
+	}
+	return r
+}
+
+func TestDASImmediateFills(t *testing.T) {
+	d := NewDASDepth(16, 1)
+	d.Arm(TriggerImmediate)
+	for i := 0; i < 20; i++ {
+		d.Observe(recActive(i % 9))
+	}
+	if !d.Full() {
+		t.Fatal("buffer should be full")
+	}
+	recs := d.Transfer()
+	if len(recs) != 16 {
+		t.Fatalf("records = %d, want 16", len(recs))
+	}
+	// Records stored from the first observed cycle.
+	if recs[0].ActiveCount() != 0 || recs[1].ActiveCount() != 1 {
+		t.Error("immediate mode should store from the first observation")
+	}
+	if d.Acquisitions != 1 {
+		t.Errorf("acquisitions = %d", d.Acquisitions)
+	}
+}
+
+func TestDASStopsWhenFull(t *testing.T) {
+	d := NewDASDepth(4, 1)
+	d.Arm(TriggerImmediate)
+	for i := 0; i < 100; i++ {
+		d.Observe(recActive(8))
+	}
+	if got := len(d.Transfer()); got != 4 {
+		t.Fatalf("records = %d, want 4 (no overwrite)", got)
+	}
+}
+
+func TestDASAll8Trigger(t *testing.T) {
+	d := NewDASDepth(4, 1)
+	d.Arm(TriggerAll8)
+	// Below-threshold activity must not trigger.
+	for i := 0; i < 10; i++ {
+		d.Observe(recActive(7))
+	}
+	if len(d.Transfer()) != 0 {
+		t.Fatal("should not have triggered below 8 active")
+	}
+	d.Observe(recActive(8))
+	d.Observe(recActive(8))
+	d.Observe(recActive(7))
+	d.Observe(recActive(6))
+	recs := d.Transfer()
+	if len(recs) != 4 {
+		t.Fatalf("records = %d, want 4", len(recs))
+	}
+	if recs[0].ActiveCount() != 8 {
+		t.Error("first stored record should be the trigger cycle")
+	}
+}
+
+func TestDASTransitionTrigger(t *testing.T) {
+	d := NewDASDepth(3, 1)
+	d.Arm(TriggerTransition)
+	// 8-active alone must not trigger.
+	for i := 0; i < 5; i++ {
+		d.Observe(recActive(8))
+	}
+	if d.Full() {
+		t.Fatal("transition trigger fired during steady 8-active")
+	}
+	// Drop to 5: trigger fires and the drop cycle is stored.
+	d.Observe(recActive(5))
+	d.Observe(recActive(3))
+	d.Observe(recActive(1))
+	if !d.Full() {
+		t.Fatal("buffer should have filled after the transition")
+	}
+	recs := d.Transfer()
+	if recs[0].ActiveCount() != 5 || recs[2].ActiveCount() != 1 {
+		t.Errorf("stored records wrong: %v", recs)
+	}
+}
+
+func TestDASTransitionRequiresFullConcurrencyFirst(t *testing.T) {
+	d := NewDASDepth(2, 1)
+	d.Arm(TriggerTransition)
+	// 7 -> 5 is a drop but not from 8: no trigger.
+	d.Observe(recActive(7))
+	d.Observe(recActive(5))
+	d.Observe(recActive(2))
+	if d.Full() || len(d.Transfer()) != 0 {
+		t.Fatal("transition trigger must require a drop from 8")
+	}
+}
+
+func TestDASRearm(t *testing.T) {
+	d := NewDASDepth(2, 1)
+	d.Arm(TriggerImmediate)
+	d.Observe(recActive(1))
+	d.Observe(recActive(2))
+	if !d.Full() {
+		t.Fatal("first acquisition incomplete")
+	}
+	d.Arm(TriggerImmediate)
+	if d.Full() || len(d.Transfer()) != 0 {
+		t.Fatal("rearm should clear the buffer")
+	}
+}
+
+func TestTriggerModeString(t *testing.T) {
+	if TriggerImmediate.String() != "immediate" ||
+		TriggerAll8.String() != "all-8-active" ||
+		TriggerTransition.String() != "8-to-fewer transition" ||
+		TriggerMode(9).String() != "unknown" {
+		t.Error("trigger mode names wrong")
+	}
+}
+
+func TestReduceCounts(t *testing.T) {
+	var r1, r2 trace.Record
+	r1.Active[0] = true
+	r1.Active[7] = true
+	r1.CE[0] = trace.CERead
+	r1.CE[7] = trace.CEWriteMiss
+	r1.Mem[0] = trace.MemRead
+	r2.Active[0] = true
+	r2.CE[0] = trace.CEFetch
+
+	e := Reduce([]trace.Record{r1, r2})
+	if e.Records != 2 {
+		t.Fatalf("records = %d", e.Records)
+	}
+	if e.Num[2] != 1 || e.Num[1] != 1 {
+		t.Errorf("num = %v", e.Num)
+	}
+	if e.Prof[0] != 2 || e.Prof[7] != 1 || e.Prof[3] != 0 {
+		t.Errorf("prof = %v", e.Prof)
+	}
+	if e.CEOp[trace.CERead] != 1 || e.CEOp[trace.CEWriteMiss] != 1 ||
+		e.CEOp[trace.CEFetch] != 1 {
+		t.Errorf("ceop = %v", e.CEOp)
+	}
+	if e.CEOp[trace.CEIdle] != 2*8-3 {
+		t.Errorf("idle ceop = %d, want %d", e.CEOp[trace.CEIdle], 13)
+	}
+	if e.MemOp[trace.MemRead] != 1 || e.MemOp[trace.MemIdle] != 3 {
+		t.Errorf("memop = %v", e.MemOp)
+	}
+}
+
+func TestEventCountsAdd(t *testing.T) {
+	a := Reduce([]trace.Record{recActive(3)})
+	b := Reduce([]trace.Record{recActive(8)})
+	a.Add(b)
+	if a.Records != 2 || a.Num[3] != 1 || a.Num[8] != 1 {
+		t.Errorf("sum wrong: %+v", a)
+	}
+	if a.Prof[0] != 2 || a.Prof[7] != 1 {
+		t.Errorf("prof sum wrong: %v", a.Prof)
+	}
+}
+
+func TestDerivedMeasures(t *testing.T) {
+	var r trace.Record
+	r.CE[0] = trace.CERead
+	r.CE[1] = trace.CEReadMiss
+	// 6 idle buses.
+	e := Reduce([]trace.Record{r})
+	if got := e.BusBusy(); got != 2.0/8.0 {
+		t.Errorf("BusBusy = %v, want 0.25", got)
+	}
+	if got := e.MissRate(); got != 1.0/8.0 {
+		t.Errorf("MissRate = %v, want 0.125", got)
+	}
+	var empty EventCounts
+	if empty.BusBusy() != 0 || empty.MissRate() != 0 || empty.MemBusBusy() != 0 {
+		t.Error("empty counts should yield zero measures")
+	}
+}
+
+func TestMemBusBusy(t *testing.T) {
+	var r trace.Record
+	r.Mem[0] = trace.MemRead
+	e := Reduce([]trace.Record{r})
+	if got := e.MemBusBusy(); got != 0.5 {
+		t.Errorf("MemBusBusy = %v, want 0.5", got)
+	}
+}
+
+func newTestSystem(seed uint64) *concentrix.System {
+	cfg := fx8.DefaultConfig()
+	cl := fx8.New(cfg)
+	sys := concentrix.NewSystem(cl, concentrix.DefaultSysConfig())
+	g := workload.NewGenerator(workload.PaperMix(seed))
+	for _, p := range g.Session(600_000) {
+		sys.Submit(p)
+	}
+	return sys
+}
+
+func TestControllerImmediateAcquire(t *testing.T) {
+	c := NewController(newTestSystem(1))
+	counts, ok := c.Acquire(TriggerImmediate, 10_000)
+	if !ok {
+		t.Fatal("immediate acquisition should complete")
+	}
+	if counts.Records != BufferDepth {
+		t.Fatalf("records = %d, want %d", counts.Records, BufferDepth)
+	}
+}
+
+func TestControllerTriggeredAcquire(t *testing.T) {
+	c := NewController(newTestSystem(2))
+	counts, ok := c.Acquire(TriggerAll8, 3_000_000)
+	if !ok {
+		t.Skip("workload never reached 8-active in budget (seed-dependent)")
+	}
+	// The trigger cycle has all 8 active, so num_8 >= 1.
+	if counts.Num[8] == 0 {
+		t.Error("all-8 trigger should capture 8-active records")
+	}
+}
+
+func TestControllerAcquireTimeout(t *testing.T) {
+	// An idle system never reaches 8-active: acquisition must time
+	// out and report failure.
+	cfg := fx8.DefaultConfig()
+	sys := concentrix.NewSystem(fx8.New(cfg), concentrix.DefaultSysConfig())
+	c := NewController(sys)
+	if _, ok := c.Acquire(TriggerAll8, 5_000); ok {
+		t.Fatal("acquisition should time out on an idle machine")
+	}
+}
+
+func TestControllerCollectSample(t *testing.T) {
+	c := NewController(newTestSystem(3))
+	spec := SampleSpec{Snapshots: 5, GapCycles: 5_000}
+	s := c.CollectSample(spec)
+	if !s.Complete {
+		t.Fatal("sample should complete")
+	}
+	if s.Counts.Records != 5*BufferDepth {
+		t.Fatalf("records = %d, want %d", s.Counts.Records, 5*BufferDepth)
+	}
+	if s.EndCycle <= s.StartCycle {
+		t.Fatal("sample should advance time")
+	}
+}
+
+func TestControllerAcquireBuffer(t *testing.T) {
+	c := NewController(newTestSystem(4))
+	recs, ok := c.AcquireBuffer(TriggerImmediate, 10_000)
+	if !ok || len(recs) != BufferDepth {
+		t.Fatalf("buffer acquisition failed: ok=%v len=%d", ok, len(recs))
+	}
+}

@@ -1,0 +1,66 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Persistence of reduced measurement data.  The study's control
+// scripts condensed each acquisition into event counts and wrote the
+// result to disk for later SAS analysis; these helpers do the same
+// with a JSON encoding, so sessions can be captured once and analyzed
+// repeatedly.
+
+// SessionFile is the on-disk form of one measurement session's
+// reduced data.
+type SessionFile struct {
+	// Version guards the format.
+	Version int `json:"version"`
+
+	// Mode names the trigger mode the session used.
+	Mode string `json:"mode"`
+
+	// Seed identifies the workload.
+	Seed uint64 `json:"seed"`
+
+	// Samples holds the session's reduced samples in order.
+	Samples []Sample `json:"samples"`
+}
+
+// fileVersion is the current SessionFile format version.
+const fileVersion = 1
+
+// WriteSession encodes a session's reduced samples.
+func WriteSession(w io.Writer, mode TriggerMode, seed uint64, samples []Sample) error {
+	f := SessionFile{
+		Version: fileVersion,
+		Mode:    mode.String(),
+		Seed:    seed,
+		Samples: samples,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// ReadSession decodes a session file, validating the format version.
+func ReadSession(r io.Reader) (SessionFile, error) {
+	var f SessionFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return f, fmt.Errorf("monitor: decoding session: %w", err)
+	}
+	if f.Version != fileVersion {
+		return f, fmt.Errorf("monitor: unsupported session file version %d", f.Version)
+	}
+	return f, nil
+}
+
+// Totals sums the event counts of every sample in the file.
+func (f SessionFile) Totals() EventCounts {
+	var e EventCounts
+	for _, s := range f.Samples {
+		e.Add(s.Counts)
+	}
+	return e
+}

@@ -1,0 +1,80 @@
+package monitor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func sampleFixture() []Sample {
+	var r1, r2 trace.Record
+	r1.Active[0] = true
+	r1.CE[0] = trace.CEReadMiss
+	r2.Active[0], r2.Active[1] = true, true
+	r2.CE[1] = trace.CEWrite
+	return []Sample{
+		{Counts: Reduce([]trace.Record{r1}), PageFaults: 3, StartCycle: 10, EndCycle: 20, Complete: true},
+		{Counts: Reduce([]trace.Record{r2}), PageFaults: 7, StartCycle: 20, EndCycle: 30, Complete: true},
+	}
+}
+
+func TestSessionRoundTrip(t *testing.T) {
+	samples := sampleFixture()
+	var buf bytes.Buffer
+	if err := WriteSession(&buf, TriggerImmediate, 42, samples); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadSession(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Mode != "immediate" || f.Seed != 42 || f.Version != fileVersion {
+		t.Errorf("header = %+v", f)
+	}
+	if len(f.Samples) != 2 {
+		t.Fatalf("samples = %d", len(f.Samples))
+	}
+	if f.Samples[0].PageFaults != 3 || f.Samples[1].PageFaults != 7 {
+		t.Error("fault counts lost")
+	}
+	if f.Samples[0].Counts.CEOp[trace.CEReadMiss] != 1 {
+		t.Error("event counts lost")
+	}
+}
+
+func TestSessionTotals(t *testing.T) {
+	f := SessionFile{Samples: sampleFixture()}
+	tot := f.Totals()
+	if tot.Records != 2 {
+		t.Errorf("records = %d", tot.Records)
+	}
+	if tot.Num[1] != 1 || tot.Num[2] != 1 {
+		t.Errorf("num = %v", tot.Num)
+	}
+}
+
+func TestReadSessionRejectsBadVersion(t *testing.T) {
+	in := strings.NewReader(`{"version": 99, "mode": "immediate", "samples": []}`)
+	if _, err := ReadSession(in); err == nil {
+		t.Fatal("version 99 should be rejected")
+	}
+}
+
+func TestReadSessionRejectsGarbage(t *testing.T) {
+	if _, err := ReadSession(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage should be rejected")
+	}
+}
+
+func TestWriteSessionIsHumanReadable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSession(&buf, TriggerAll8, 1, sampleFixture()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "all-8-active") || !strings.Contains(out, "\n") {
+		t.Error("output should be indented JSON with the mode name")
+	}
+}

@@ -1,0 +1,99 @@
+package monitor
+
+import "repro/internal/trace"
+
+// EventCounts is the reduced set of events derived from a monitor
+// buffer — exactly Table 1 of the study:
+//
+//	num_j   number of records with j processors active
+//	prof_j  number of records with processor j active
+//	ceop_j  number of records with CE bus opcode = j (summed over CEs)
+//	membop_j number of records with mem bus opcode = j (summed over buses)
+type EventCounts struct {
+	Num     [trace.NumCE + 1]int
+	Prof    [trace.NumCE]int
+	CEOp    [trace.NumCEOps]int
+	MemOp   [trace.NumMemOps]int
+	Records int
+}
+
+// Reduce condenses an acquisition buffer into event counts, as the
+// study's real-time reduction program did before writing to disk.
+func Reduce(recs []trace.Record) EventCounts {
+	var e EventCounts
+	for _, r := range recs {
+		e.AddRecord(r)
+	}
+	return e
+}
+
+// AddRecord accumulates a single record.
+func (e *EventCounts) AddRecord(r trace.Record) {
+	e.Records++
+	e.Num[r.ActiveCount()]++
+	for i, a := range r.Active {
+		if a {
+			e.Prof[i]++
+		}
+	}
+	for _, op := range r.CE {
+		e.CEOp[op]++
+	}
+	for _, op := range r.Mem {
+		e.MemOp[op]++
+	}
+}
+
+// Add accumulates another count set (summing sessions or samples).
+func (e *EventCounts) Add(o EventCounts) {
+	e.Records += o.Records
+	for i := range e.Num {
+		e.Num[i] += o.Num[i]
+	}
+	for i := range e.Prof {
+		e.Prof[i] += o.Prof[i]
+	}
+	for i := range e.CEOp {
+		e.CEOp[i] += o.CEOp[i]
+	}
+	for i := range e.MemOp {
+		e.MemOp[i] += o.MemOp[i]
+	}
+}
+
+// BusCycles returns the total number of CE bus cycles covered (records
+// times buses).
+func (e EventCounts) BusCycles() int {
+	return e.Records * trace.NumCE
+}
+
+// BusBusy returns the fraction of CE bus cycles that are not idle,
+// averaged over all eight buses — the study's CE Bus Busy measure.
+func (e EventCounts) BusBusy() float64 {
+	total := e.BusCycles()
+	if total == 0 {
+		return 0
+	}
+	return float64(total-e.CEOp[trace.CEIdle]) / float64(total)
+}
+
+// MissRate returns the fraction of CE bus cycles carrying a
+// miss-qualified opcode — the study's Missrate measure.
+func (e EventCounts) MissRate() float64 {
+	total := e.BusCycles()
+	if total == 0 {
+		return 0
+	}
+	miss := e.CEOp[trace.CEReadMiss] + e.CEOp[trace.CEWriteMiss] + e.CEOp[trace.CEFetchMiss]
+	return float64(miss) / float64(total)
+}
+
+// MemBusBusy returns the fraction of memory bus cycles that are not
+// idle, averaged over the memory buses.
+func (e EventCounts) MemBusBusy() float64 {
+	total := e.Records * trace.NumMemBus
+	if total == 0 {
+		return 0
+	}
+	return float64(total-e.MemOp[trace.MemIdle]) / float64(total)
+}

@@ -1,0 +1,98 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Waveform renders a record buffer as a textual timing diagram — one
+// lane per probed signal group — the way an engineer reads a logic
+// analyzer screen.  Lanes:
+//
+//	CEn   per-CE bus activity: '.' idle, 'r'/'w'/'f' read/write/fetch,
+//	      'R'/'W'/'F' the miss-qualified forms
+//	An    per-CE activity bit: '#' active, ' ' inactive
+//	Mn    memory bus: '.' idle, 'r' read, 'w' write, 'i' invalidate,
+//	      'p'/'q' IP read/write
+//
+// width limits the rendered records per row; long buffers wrap.
+func Waveform(recs []trace.Record, width int) string {
+	if width <= 0 {
+		width = 100
+	}
+	var b strings.Builder
+	for start := 0; start < len(recs); start += width {
+		end := start + width
+		if end > len(recs) {
+			end = len(recs)
+		}
+		window := recs[start:end]
+		fmt.Fprintf(&b, "records %d..%d\n", start, end-1)
+		for ce := 0; ce < trace.NumCE; ce++ {
+			fmt.Fprintf(&b, "CE%d |", ce)
+			for _, r := range window {
+				b.WriteByte(ceOpGlyph(r.CE[ce]))
+			}
+			b.WriteString("|\n")
+		}
+		b.WriteString("ACT |")
+		for _, r := range window {
+			n := r.ActiveCount()
+			if n == 0 {
+				b.WriteByte(' ')
+			} else {
+				b.WriteByte("0123456789"[n])
+			}
+		}
+		b.WriteString("|\n")
+		for m := 0; m < trace.NumMemBus; m++ {
+			fmt.Fprintf(&b, "MB%d |", m)
+			for _, r := range window {
+				b.WriteByte(memOpGlyph(r.Mem[m]))
+			}
+			b.WriteString("|\n")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func ceOpGlyph(op trace.CEOp) byte {
+	switch op {
+	case trace.CEIdle:
+		return '.'
+	case trace.CERead:
+		return 'r'
+	case trace.CEWrite:
+		return 'w'
+	case trace.CEFetch:
+		return 'f'
+	case trace.CEReadMiss:
+		return 'R'
+	case trace.CEWriteMiss:
+		return 'W'
+	case trace.CEFetchMiss:
+		return 'F'
+	}
+	return '?'
+}
+
+func memOpGlyph(op trace.MemOp) byte {
+	switch op {
+	case trace.MemIdle:
+		return '.'
+	case trace.MemRead:
+		return 'r'
+	case trace.MemWrite:
+		return 'w'
+	case trace.MemInval:
+		return 'i'
+	case trace.MemIPRead:
+		return 'p'
+	case trace.MemIPWrite:
+		return 'q'
+	}
+	return '?'
+}

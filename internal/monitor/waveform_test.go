@@ -1,0 +1,83 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestWaveformLanes(t *testing.T) {
+	var r trace.Record
+	r.CE[0] = trace.CERead
+	r.CE[1] = trace.CEWriteMiss
+	r.Active[0], r.Active[1] = true, true
+	r.Mem[0] = trace.MemRead
+	r.Mem[1] = trace.MemIPWrite
+
+	out := Waveform([]trace.Record{r}, 10)
+	lines := strings.Split(out, "\n")
+	find := func(prefix string) string {
+		for _, l := range lines {
+			if strings.HasPrefix(l, prefix) {
+				return l
+			}
+		}
+		t.Fatalf("lane %q missing:\n%s", prefix, out)
+		return ""
+	}
+	if !strings.Contains(find("CE0"), "r") {
+		t.Error("CE0 read glyph missing")
+	}
+	if !strings.Contains(find("CE1"), "W") {
+		t.Error("CE1 write-miss glyph missing")
+	}
+	if !strings.Contains(find("ACT"), "2") {
+		t.Error("activity count missing")
+	}
+	if !strings.Contains(find("MB0"), "r") || !strings.Contains(find("MB1"), "q") {
+		t.Error("memory bus glyphs missing")
+	}
+}
+
+func TestWaveformWraps(t *testing.T) {
+	recs := make([]trace.Record, 25)
+	out := Waveform(recs, 10)
+	if got := strings.Count(out, "records "); got != 3 {
+		t.Errorf("windows = %d, want 3", got)
+	}
+	if !strings.Contains(out, "records 20..24") {
+		t.Error("final partial window missing")
+	}
+}
+
+func TestWaveformGlyphsTotal(t *testing.T) {
+	// Every opcode has a distinct glyph.
+	seen := map[byte]bool{}
+	for op := 0; op < trace.NumCEOps; op++ {
+		g := ceOpGlyph(trace.CEOp(op))
+		if seen[g] {
+			t.Errorf("duplicate CE glyph %c", g)
+		}
+		seen[g] = true
+	}
+	seen = map[byte]bool{}
+	for op := 0; op < trace.NumMemOps; op++ {
+		g := memOpGlyph(trace.MemOp(op))
+		if seen[g] {
+			t.Errorf("duplicate mem glyph %c", g)
+		}
+		seen[g] = true
+	}
+	if ceOpGlyph(trace.CEOp(99)) != '?' || memOpGlyph(trace.MemOp(99)) != '?' {
+		t.Error("unknown opcodes should render '?'")
+	}
+}
+
+func TestWaveformDefaultWidth(t *testing.T) {
+	recs := make([]trace.Record, 150)
+	out := Waveform(recs, 0)
+	if !strings.Contains(out, "records 0..99") {
+		t.Error("default width should be 100")
+	}
+}

@@ -1,0 +1,118 @@
+// Package sas renders analysis results in the style of the SAS
+// procedures the study used on its IBM 4381: horizontal star frequency
+// charts with FREQ / CUM.FREQ / PERCENT / CUM.PERCENT columns (PROC
+// CHART), letter-coded scatter plots where A is one observation, B two
+// and so on (PROC PLOT), fitted-model curves, and fixed-width tables.
+package sas
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// ChartOptions controls star-chart rendering.
+type ChartOptions struct {
+	// Title is printed above the chart.
+	Title string
+
+	// Label names the midpoint column (e.g. "NUMBER OF PROCESSORS").
+	Label string
+
+	// Width is the maximum star-bar width in characters.
+	Width int
+
+	// MidpointFormat formats midpoints (default "%g").
+	MidpointFormat string
+
+	// ShowPercent adds PERCENT / CUM.PERCENT columns.
+	ShowPercent bool
+
+	// Descending lists bins from the highest midpoint down, as the
+	// study's processor-count charts do.
+	Descending bool
+}
+
+// Chart renders a histogram as a SAS-style horizontal star chart.
+func Chart(h stats.Histogram, opt ChartOptions) string {
+	if opt.Width <= 0 {
+		opt.Width = 60
+	}
+	if opt.MidpointFormat == "" {
+		opt.MidpointFormat = "%g"
+	}
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n\n", opt.Title)
+	}
+	header := fmt.Sprintf("%-12s|%-*s", opt.Label, opt.Width, "")
+	if opt.ShowPercent {
+		fmt.Fprintf(&b, "%s %8s %8s %8s %8s\n", header, "FREQ", "CUM.FREQ", "PERCENT", "CUM.PCT")
+	} else {
+		fmt.Fprintf(&b, "%s %8s %8s\n", header, "FREQ", "CUM.FREQ")
+	}
+
+	maxFreq := h.MaxFreq()
+	bins := h.Bins
+	idx := make([]int, len(bins))
+	for i := range idx {
+		if opt.Descending {
+			idx[i] = len(bins) - 1 - i
+		} else {
+			idx[i] = i
+		}
+	}
+	for _, i := range idx {
+		bin := bins[i]
+		stars := 0
+		if maxFreq > 0 {
+			stars = bin.Freq * opt.Width / maxFreq
+		}
+		if bin.Freq > 0 && stars == 0 {
+			stars = 1
+		}
+		mid := fmt.Sprintf(opt.MidpointFormat, bin.Midpoint)
+		row := fmt.Sprintf("%-12s|%-*s", mid, opt.Width, strings.Repeat("*", stars))
+		if opt.ShowPercent {
+			fmt.Fprintf(&b, "%s %8d %8d %8.2f %8.2f\n",
+				row, bin.Freq, bin.CumFreq, bin.Percent, bin.CumPercent)
+		} else {
+			fmt.Fprintf(&b, "%s %8d %8d\n", row, bin.Freq, bin.CumFreq)
+		}
+	}
+	return b.String()
+}
+
+// BarChart renders labeled integer counts (e.g. per-processor
+// activity) as a star chart without cumulative columns.
+func BarChart(title string, labels []string, counts []int, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n\n", title)
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range counts {
+		stars := 0
+		if max > 0 {
+			stars = c * width / max
+		}
+		if c > 0 && stars == 0 {
+			stars = 1
+		}
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		fmt.Fprintf(&b, "%-12s|%-*s %10d\n", label, width, strings.Repeat("*", stars), c)
+	}
+	return b.String()
+}

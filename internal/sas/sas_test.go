@@ -1,0 +1,209 @@
+package sas
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestChartBasic(t *testing.T) {
+	h := stats.IntHistogram([]int{10, 0, 5})
+	out := Chart(h, ChartOptions{
+		Title: "TEST CHART", Label: "N", Width: 20, ShowPercent: true,
+	})
+	if !strings.Contains(out, "TEST CHART") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "FREQ") || !strings.Contains(out, "CUM.PCT") {
+		t.Error("headers missing")
+	}
+	lines := strings.Split(out, "\n")
+	// Find the row for midpoint 0 (freq 10): it should carry the
+	// full-width bar.
+	var bar0, bar2 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "0 ") || strings.HasPrefix(l, "0\t") || strings.HasPrefix(l, "0  ") {
+			bar0 = l
+		}
+		if strings.HasPrefix(l, "2 ") || strings.HasPrefix(l, "2  ") {
+			bar2 = l
+		}
+	}
+	if strings.Count(bar0, "*") != 20 {
+		t.Errorf("max bin should have full bar: %q", bar0)
+	}
+	if strings.Count(bar2, "*") != 10 {
+		t.Errorf("half bin should have half bar: %q", bar2)
+	}
+}
+
+func TestChartDescending(t *testing.T) {
+	h := stats.IntHistogram([]int{1, 2, 3})
+	out := Chart(h, ChartOptions{Label: "N", Width: 10, Descending: true})
+	i0 := strings.Index(out, "\n0 ")
+	i2 := strings.Index(out, "\n2 ")
+	if i0 < 0 || i2 < 0 {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+	if i2 > i0 {
+		t.Error("descending chart should list midpoint 2 before 0")
+	}
+}
+
+func TestChartNonzeroBinAlwaysVisible(t *testing.T) {
+	h := stats.IntHistogram([]int{1000, 1})
+	out := Chart(h, ChartOptions{Label: "N", Width: 30})
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "1 ") && !strings.Contains(l, "*") {
+			t.Error("non-zero bin rendered without a star")
+		}
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	var h stats.Histogram
+	out := Chart(h, ChartOptions{Label: "N"})
+	if out == "" {
+		t.Error("empty chart should still render headers")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("PER-CE", []string{"CE0", "CE1"}, []int{4, 8}, 16)
+	if !strings.Contains(out, "PER-CE") || !strings.Contains(out, "CE1") {
+		t.Error("labels missing")
+	}
+	lines := strings.Split(out, "\n")
+	var l0, l1 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "CE0") {
+			l0 = l
+		}
+		if strings.HasPrefix(l, "CE1") {
+			l1 = l
+		}
+	}
+	if strings.Count(l1, "*") != 16 || strings.Count(l0, "*") != 8 {
+		t.Errorf("bar widths wrong:\n%s", out)
+	}
+}
+
+func TestScatterLetterCoding(t *testing.T) {
+	// Three identical points in one cell -> C; one lone point -> A.
+	xs := []float64{0.5, 0.5, 0.5, 0.1}
+	ys := []float64{0.5, 0.5, 0.5, 0.1}
+	out := Scatter(xs, ys, PlotOptions{
+		Title: "T", Cols: 20, Rows: 10, XMin: 0, XMax: 1, YMin: 0, YMax: 1,
+	})
+	if !strings.Contains(out, "C") {
+		t.Errorf("triple point should render as C:\n%s", out)
+	}
+	if !strings.Contains(out, "A") {
+		t.Errorf("single point should render as A:\n%s", out)
+	}
+	if !strings.Contains(out, "LEGEND") {
+		t.Error("legend missing")
+	}
+}
+
+func TestScatterOverflowZ(t *testing.T) {
+	var xs, ys []float64
+	for i := 0; i < 30; i++ {
+		xs = append(xs, 0.5)
+		ys = append(ys, 0.5)
+	}
+	out := Scatter(xs, ys, PlotOptions{Cols: 10, Rows: 5, XMin: 0, XMax: 1, YMin: 0, YMax: 1})
+	if !strings.Contains(out, "Z") {
+		t.Error("26+ observations should render as Z")
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	out := Scatter(nil, nil, PlotOptions{Title: "E"})
+	if !strings.Contains(out, "no observations") {
+		t.Error("empty scatter should say so")
+	}
+}
+
+func TestScatterAutoRange(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{10, 20, 30}
+	out := Scatter(xs, ys, PlotOptions{Cols: 30, Rows: 10})
+	// All three observations must appear (skip the legend line).
+	body := out[strings.Index(out, "\n"):]
+	if strings.Count(body, "A") != 3 {
+		t.Errorf("want 3 A marks:\n%s", out)
+	}
+}
+
+func TestModelPlot(t *testing.T) {
+	m := stats.QuadModel{B1: 0.01, B2: 0.014, C: 0.002}
+	pts := []stats.MedianPoint{{X: 0.5, Y: 0.012}, {X: 1.0, Y: 0.026}}
+	out := ModelPlot(m, pts, PlotOptions{
+		Title: "MODEL", XLabel: "Cw", YLabel: "MISSRATE",
+		Cols: 40, Rows: 12, XMin: 0, XMax: 1,
+	})
+	if !strings.Contains(out, "o") {
+		t.Error("model curve missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("median points missing")
+	}
+	if !strings.Contains(out, "Cw") {
+		t.Error("axis label missing")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table("TITLE", []string{"A", "LONGHEADER"}, [][]string{
+		{"1", "2"},
+		{"333", "4"},
+	})
+	if !strings.Contains(out, "TITLE") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "LONGHEADER") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(out, "| 333") {
+		t.Error("row missing")
+	}
+	// Every data line has the same width.
+	var widths []int
+	for _, l := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(l, "|") || strings.HasPrefix(l, "+") {
+			widths = append(widths, len(l))
+		}
+	}
+	for _, w := range widths {
+		if w != widths[0] {
+			t.Errorf("ragged table:\n%s", out)
+			break
+		}
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	out := Table("", []string{"A", "B"}, [][]string{{"only"}})
+	if !strings.Contains(out, "only") {
+		t.Error("short row should render")
+	}
+}
+
+func TestSci(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{0.0257, "2.57 x 10^-2"},
+		{-3.30e-3, "-3.30 x 10^-3"},
+		{1.07e3, "1.07 x 10^3"},
+	}
+	for _, c := range cases {
+		if got := Sci(c.v); got != c.want {
+			t.Errorf("Sci(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package sas
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table renders a fixed-width table with a title, column headers and
+// string rows, in the style of the study's numbered tables.
+func Table(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cellText := range row {
+			if i < len(widths) && len(cellText) > widths[i] {
+				widths[i] = len(cellText)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n\n", title)
+	}
+	writeRow := func(cells []string) {
+		for i := range headers {
+			cellText := ""
+			if i < len(cells) {
+				cellText = cells[i]
+			}
+			fmt.Fprintf(&b, "| %-*s ", widths[i], cellText)
+		}
+		b.WriteString("|\n")
+	}
+	rule := func() {
+		for i := range headers {
+			b.WriteString("+")
+			b.WriteString(strings.Repeat("-", widths[i]+2))
+		}
+		b.WriteString("+\n")
+	}
+	rule()
+	writeRow(headers)
+	rule()
+	for _, row := range rows {
+		writeRow(row)
+	}
+	rule()
+	return b.String()
+}
+
+// Sci formats a value in the scientific notation the study's model
+// tables use (e.g. 2.57 x 10^-2).
+func Sci(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	s := fmt.Sprintf("%.2e", v)
+	mant, exp, ok := strings.Cut(s, "e")
+	if !ok {
+		return s
+	}
+	e, err := strconv.Atoi(exp)
+	if err != nil {
+		return s
+	}
+	return fmt.Sprintf("%s x 10^%d", mant, e)
+}

@@ -1,0 +1,116 @@
+package stats
+
+import "math"
+
+// Bin is one midpoint bin of a SAS-style frequency chart.
+type Bin struct {
+	Midpoint   float64
+	Freq       int
+	CumFreq    int
+	Percent    float64
+	CumPercent float64
+}
+
+// Histogram is a midpoint-binned frequency distribution in the style
+// of SAS PROC CHART, as used throughout the study's figures: each
+// observation is assigned to the nearest midpoint on a regular grid.
+type Histogram struct {
+	Bins []Bin
+	N    int
+}
+
+// NewHistogram bins each observation to the nearest midpoint of the
+// regular grid {lo, lo+step, ..., hi}.  Observations outside the grid
+// clamp to the first or last midpoint, matching the presentation of
+// the study's charts.  step must be positive and hi >= lo.
+func NewHistogram(xs []float64, lo, hi, step float64) Histogram {
+	if step <= 0 || hi < lo {
+		return Histogram{}
+	}
+	n := int(math.Round((hi-lo)/step)) + 1
+	bins := make([]Bin, n)
+	for i := range bins {
+		bins[i].Midpoint = lo + float64(i)*step
+	}
+	for _, x := range xs {
+		i := int(math.Round((x - lo) / step))
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		bins[i].Freq++
+	}
+	total := len(xs)
+	cum := 0
+	for i := range bins {
+		cum += bins[i].Freq
+		bins[i].CumFreq = cum
+		if total > 0 {
+			bins[i].Percent = 100 * float64(bins[i].Freq) / float64(total)
+			bins[i].CumPercent = 100 * float64(cum) / float64(total)
+		}
+	}
+	return Histogram{Bins: bins, N: total}
+}
+
+// IntHistogram builds a histogram over integer categories 0..max from
+// per-category counts, for charts such as "number of records with N
+// processors active".
+func IntHistogram(counts []int) Histogram {
+	bins := make([]Bin, len(counts))
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	cum := 0
+	for i, c := range counts {
+		cum += c
+		bins[i] = Bin{Midpoint: float64(i), Freq: c, CumFreq: cum}
+		if total > 0 {
+			bins[i].Percent = 100 * float64(c) / float64(total)
+			bins[i].CumPercent = 100 * float64(cum) / float64(total)
+		}
+	}
+	return Histogram{Bins: bins, N: total}
+}
+
+// MaxFreq returns the largest bin frequency, or 0 for an empty
+// histogram.
+func (h Histogram) MaxFreq() int {
+	m := 0
+	for _, b := range h.Bins {
+		if b.Freq > m {
+			m = b.Freq
+		}
+	}
+	return m
+}
+
+// Mode returns the midpoint of the bin with the largest frequency.
+func (h Histogram) Mode() float64 {
+	best, bestF := 0.0, -1
+	for _, b := range h.Bins {
+		if b.Freq > bestF {
+			best, bestF = b.Midpoint, b.Freq
+		}
+	}
+	return best
+}
+
+// FreqAt returns the frequency of the bin whose midpoint is closest
+// to x, or 0 when the histogram is empty.
+func (h Histogram) FreqAt(x float64) int {
+	if len(h.Bins) == 0 {
+		return 0
+	}
+	best, bestD := 0, math.Inf(1)
+	for i, b := range h.Bins {
+		d := math.Abs(b.Midpoint - x)
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return h.Bins[best].Freq
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramBasic(t *testing.T) {
+	xs := []float64{0.0, 0.12, 0.13, 0.26, 0.49, 1.0}
+	h := NewHistogram(xs, 0, 1, 0.125)
+	if len(h.Bins) != 9 {
+		t.Fatalf("bins = %d, want 9", len(h.Bins))
+	}
+	if h.N != len(xs) {
+		t.Fatalf("N = %d, want %d", h.N, len(xs))
+	}
+	// 0.0 -> bin 0; 0.12, 0.13 -> bin 1 (0.125); 0.26 -> bin 2 (0.25);
+	// 0.49 -> bin 4 (0.5); 1.0 -> bin 8.
+	wantFreq := []int{1, 2, 1, 0, 1, 0, 0, 0, 1}
+	for i, w := range wantFreq {
+		if h.Bins[i].Freq != w {
+			t.Errorf("bin %d freq = %d, want %d", i, h.Bins[i].Freq, w)
+		}
+	}
+	if h.Bins[8].CumFreq != 6 || !approx(h.Bins[8].CumPercent, 100, 1e-9) {
+		t.Errorf("final cum = %+v", h.Bins[8])
+	}
+}
+
+func TestNewHistogramClamping(t *testing.T) {
+	h := NewHistogram([]float64{-5, 99}, 0, 1, 0.5)
+	if h.Bins[0].Freq != 1 || h.Bins[len(h.Bins)-1].Freq != 1 {
+		t.Errorf("out-of-range values should clamp: %+v", h.Bins)
+	}
+}
+
+func TestNewHistogramDegenerate(t *testing.T) {
+	if h := NewHistogram([]float64{1}, 0, 1, 0); len(h.Bins) != 0 {
+		t.Error("zero step should give empty histogram")
+	}
+	if h := NewHistogram([]float64{1}, 1, 0, 0.5); len(h.Bins) != 0 {
+		t.Error("hi < lo should give empty histogram")
+	}
+}
+
+func TestIntHistogram(t *testing.T) {
+	h := IntHistogram([]int{10, 0, 5})
+	if h.N != 15 {
+		t.Fatalf("N = %d, want 15", h.N)
+	}
+	if h.Bins[0].Midpoint != 0 || h.Bins[2].Midpoint != 2 {
+		t.Error("midpoints should be category indices")
+	}
+	if !approx(h.Bins[0].Percent, 100.0*10/15, 1e-9) {
+		t.Errorf("percent = %v", h.Bins[0].Percent)
+	}
+	if h.Bins[2].CumFreq != 15 {
+		t.Errorf("cum freq = %d", h.Bins[2].CumFreq)
+	}
+}
+
+func TestIntHistogramEmpty(t *testing.T) {
+	h := IntHistogram([]int{0, 0})
+	if h.N != 0 {
+		t.Fatal("empty histogram should have N=0")
+	}
+	for _, b := range h.Bins {
+		if b.Percent != 0 || b.CumPercent != 0 {
+			t.Errorf("empty histogram percents should be 0: %+v", b)
+		}
+	}
+}
+
+func TestMaxFreqAndMode(t *testing.T) {
+	h := IntHistogram([]int{3, 9, 1})
+	if h.MaxFreq() != 9 {
+		t.Errorf("MaxFreq = %d", h.MaxFreq())
+	}
+	if h.Mode() != 1 {
+		t.Errorf("Mode = %v", h.Mode())
+	}
+	var empty Histogram
+	if empty.MaxFreq() != 0 {
+		t.Error("empty MaxFreq should be 0")
+	}
+}
+
+func TestFreqAt(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 0.5, 0.51}, 0, 1, 0.25)
+	if got := h.FreqAt(0.5); got != 3 {
+		t.Errorf("FreqAt(0.5) = %d, want 3", got)
+	}
+	if got := h.FreqAt(0.0); got != 0 {
+		t.Errorf("FreqAt(0.0) = %d, want 0", got)
+	}
+	var empty Histogram
+	if empty.FreqAt(1) != 0 {
+		t.Error("empty FreqAt should be 0")
+	}
+}
+
+func TestHistogramConservationProperty(t *testing.T) {
+	// Property: bin frequencies always sum to the observation count,
+	// and cumulative percent ends at 100 for nonempty input.
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		xs := make([]float64, int(n))
+		for i := range xs {
+			xs[i] = rng.Float64()*2 - 0.5 // includes out-of-grid values
+		}
+		h := NewHistogram(xs, 0, 1, 0.1)
+		sum := 0
+		for _, b := range h.Bins {
+			sum += b.Freq
+		}
+		if sum != len(xs) || h.N != len(xs) {
+			return false
+		}
+		if len(xs) > 0 {
+			last := h.Bins[len(h.Bins)-1]
+			if !approx(last.CumPercent, 100, 1e-9) || last.CumFreq != len(xs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCumFreqMonotoneProperty(t *testing.T) {
+	f := func(counts []uint8) bool {
+		cs := make([]int, len(counts))
+		for i, c := range counts {
+			cs[i] = int(c)
+		}
+		h := IntHistogram(cs)
+		prev := 0
+		for _, b := range h.Bins {
+			if b.CumFreq < prev {
+				return false
+			}
+			prev = b.CumFreq
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

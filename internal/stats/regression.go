@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when the normal equations of a least-squares
+// fit are singular (for example, all abscissae identical).
+var ErrSingular = errors.New("stats: singular normal equations")
+
+// QuadModel is a second-order linear model of the form used in the
+// study (equations 5.1 and 5.2):
+//
+//	y = B1*x + B2*x^2 + C
+//
+// R2 is the coefficient of determination of the fit against the data
+// it was fitted to.
+type QuadModel struct {
+	B1, B2, C float64
+	R2        float64
+}
+
+// Eval evaluates the model at x.
+func (m QuadModel) Eval(x float64) float64 {
+	return m.B1*x + m.B2*x*x + m.C
+}
+
+// FitQuad fits y = B1*x + B2*x^2 + C to the paired observations by
+// ordinary least squares, minimizing equation 5.3 of the study.  It
+// requires at least three points and a nonsingular design.
+func FitQuad(xs, ys []float64) (QuadModel, error) {
+	if len(xs) != len(ys) {
+		return QuadModel{}, errors.New("stats: mismatched lengths")
+	}
+	if len(xs) < 3 {
+		return QuadModel{}, errors.New("stats: need at least 3 points for a quadratic fit")
+	}
+	// Normal equations for the design matrix [x x^2 1].
+	var s1, sx, sx2, sx3, sx4 float64
+	var sy, sxy, sx2y float64
+	for i := range xs {
+		x, y := xs[i], ys[i]
+		x2 := x * x
+		s1++
+		sx += x
+		sx2 += x2
+		sx3 += x2 * x
+		sx4 += x2 * x2
+		sy += y
+		sxy += x * y
+		sx2y += x2 * y
+	}
+	a := [3][4]float64{
+		{sx2, sx3, sx, sxy},
+		{sx3, sx4, sx2, sx2y},
+		{sx, sx2, s1, sy},
+	}
+	sol, err := solve3(a)
+	if err != nil {
+		return QuadModel{}, err
+	}
+	m := QuadModel{B1: sol[0], B2: sol[1], C: sol[2]}
+	m.R2 = RSquared(xs, ys, m.Eval)
+	return m, nil
+}
+
+// FitLinear fits y = B1*x + C by ordinary least squares and returns it
+// as a QuadModel with B2 = 0, for ablation comparisons against the
+// second-order models.
+func FitLinear(xs, ys []float64) (QuadModel, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return QuadModel{}, errors.New("stats: need at least 2 paired points")
+	}
+	var s1, sx, sx2, sy, sxy float64
+	for i := range xs {
+		s1++
+		sx += xs[i]
+		sx2 += xs[i] * xs[i]
+		sy += ys[i]
+		sxy += xs[i] * ys[i]
+	}
+	det := s1*sx2 - sx*sx
+	if math.Abs(det) < 1e-12*math.Max(1, math.Abs(s1*sx2)) {
+		return QuadModel{}, ErrSingular
+	}
+	b1 := (s1*sxy - sx*sy) / det
+	c := (sy - b1*sx) / s1
+	m := QuadModel{B1: b1, C: c}
+	m.R2 = RSquared(xs, ys, m.Eval)
+	return m, nil
+}
+
+// RSquared returns the coefficient of determination of the predictor f
+// over the paired observations: 1 - SSres/SStot.  A constant response
+// yields 1 when predicted exactly and 0 otherwise.
+func RSquared(xs, ys []float64, f func(float64) float64) float64 {
+	if len(xs) != len(ys) || len(ys) == 0 {
+		return 0
+	}
+	my := Mean(ys)
+	var ssRes, ssTot float64
+	for i := range ys {
+		r := ys[i] - f(xs[i])
+		ssRes += r * r
+		d := ys[i] - my
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// solve3 solves a 3x3 linear system given as an augmented matrix,
+// using Gaussian elimination with partial pivoting.
+func solve3(a [3][4]float64) ([3]float64, error) {
+	var x [3]float64
+	for col := 0; col < 3; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return x, ErrSingular
+		}
+		a[col], a[piv] = a[piv], a[col]
+		// Eliminate below.
+		for r := col + 1; r < 3; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < 4; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	// Back-substitute.
+	for row := 2; row >= 0; row-- {
+		v := a[row][3]
+		for c := row + 1; c < 3; c++ {
+			v -= a[row][c] * x[c]
+		}
+		x[row] = v / a[row][row]
+	}
+	return x, nil
+}
+
+// RelationshipLabel categorizes an R-squared value using the scale the
+// study cites from Mendenhall & Sincich: 0 no relationship, 0.25
+// moderately weak, 0.5 moderate, 0.75 moderately strong, 1.0 perfect.
+func RelationshipLabel(r2 float64) string {
+	switch {
+	case r2 < 0.125:
+		return "no relationship"
+	case r2 < 0.375:
+		return "moderately weak"
+	case r2 < 0.625:
+		return "moderate"
+	case r2 < 0.875:
+		return "moderately strong"
+	default:
+		return "perfect"
+	}
+}

@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestFitQuadExact(t *testing.T) {
+	// y = 2x + 3x^2 + 1, noiseless: the fit must recover the
+	// coefficients and report R2 = 1.
+	var xs, ys []float64
+	for x := 0.0; x <= 2.0; x += 0.25 {
+		xs = append(xs, x)
+		ys = append(ys, 2*x+3*x*x+1)
+	}
+	m, err := FitQuad(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m.B1, 2, 1e-8) || !approx(m.B2, 3, 1e-8) || !approx(m.C, 1, 1e-8) {
+		t.Errorf("coefficients = %+v", m)
+	}
+	if !approx(m.R2, 1, 1e-9) {
+		t.Errorf("R2 = %v, want 1", m.R2)
+	}
+}
+
+func TestFitQuadNoisy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := rng.Float64() * 4
+		xs = append(xs, x)
+		ys = append(ys, -1.5*x+0.5*x*x+2+rng.NormFloat64()*0.05)
+	}
+	m, err := FitQuad(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m.B1, -1.5, 0.1) || !approx(m.B2, 0.5, 0.05) || !approx(m.C, 2, 0.1) {
+		t.Errorf("coefficients = %+v", m)
+	}
+	if m.R2 < 0.95 {
+		t.Errorf("R2 = %v, want > 0.95", m.R2)
+	}
+}
+
+func TestFitQuadErrors(t *testing.T) {
+	if _, err := FitQuad([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := FitQuad([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("too few points should error")
+	}
+	// All x identical: singular design.
+	if _, err := FitQuad([]float64{1, 1, 1, 1}, []float64{1, 2, 3, 4}); err == nil {
+		t.Error("constant x should be singular")
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	m, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m.B1, 2, 1e-10) || !approx(m.C, 1, 1e-10) || m.B2 != 0 {
+		t.Errorf("model = %+v", m)
+	}
+	if !approx(m.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v", m.R2)
+	}
+}
+
+func TestFitLinearSingular(t *testing.T) {
+	if _, err := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant x should be singular")
+	}
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{2, 4, 6}
+	if got := RSquared(xs, ys, func(x float64) float64 { return 2 * x }); !approx(got, 1, 1e-12) {
+		t.Errorf("perfect predictor R2 = %v", got)
+	}
+	// Predicting the mean gives R2 = 0.
+	if got := RSquared(xs, ys, func(float64) float64 { return 4 }); !approx(got, 0, 1e-12) {
+		t.Errorf("mean predictor R2 = %v", got)
+	}
+	// Constant data predicted exactly: R2 = 1 by convention.
+	flat := []float64{5, 5, 5}
+	if got := RSquared(xs, flat, func(float64) float64 { return 5 }); got != 1 {
+		t.Errorf("exact constant R2 = %v", got)
+	}
+	if got := RSquared(xs, flat, func(float64) float64 { return 6 }); got != 0 {
+		t.Errorf("wrong constant R2 = %v", got)
+	}
+	if got := RSquared(xs, ys[:2], func(x float64) float64 { return x }); got != 0 {
+		t.Errorf("mismatched length R2 = %v", got)
+	}
+}
+
+func TestQuadModelEval(t *testing.T) {
+	m := QuadModel{B1: 1, B2: 2, C: 3}
+	if got := m.Eval(2); got != 1*2+2*4+3 {
+		t.Errorf("Eval(2) = %v", got)
+	}
+}
+
+func TestSolve3Property(t *testing.T) {
+	// Property: for random well-conditioned systems, solve3 recovers a
+	// known solution.
+	rng := rand.New(rand.NewPCG(9, 9))
+	for trial := 0; trial < 200; trial++ {
+		var want [3]float64
+		for i := range want {
+			want[i] = rng.NormFloat64() * 5
+		}
+		var a [3][4]float64
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				a[r][c] = rng.NormFloat64()
+			}
+		}
+		// Make it diagonally dominant so it is well conditioned.
+		for r := 0; r < 3; r++ {
+			a[r][r] += 5
+		}
+		for r := 0; r < 3; r++ {
+			a[r][3] = a[r][0]*want[0] + a[r][1]*want[1] + a[r][2]*want[2]
+		}
+		got, err := solve3(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestRelationshipLabel(t *testing.T) {
+	cases := []struct {
+		r2   float64
+		want string
+	}{
+		{0, "no relationship"},
+		{0.07, "no relationship"},
+		{0.25, "moderately weak"},
+		{0.5, "moderate"},
+		{0.74, "moderately strong"},
+		{0.89, "perfect"},
+		{1, "perfect"},
+	}
+	for _, c := range cases {
+		if got := RelationshipLabel(c.r2); got != c.want {
+			t.Errorf("RelationshipLabel(%v) = %q, want %q", c.r2, got, c.want)
+		}
+	}
+}
+
+func TestFitQuadMatchesPaperShape(t *testing.T) {
+	// A sanity check mirroring the paper's Missrate-vs-Cw model: fit
+	// over median points rising from ~0.004 at 0 to ~0.024 at 1.0 and
+	// confirm the model predicts a >3x increase from Cw=0.5 to Cw=1.0.
+	xs := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	ys := []float64{0.004, 0.004, 0.005, 0.005, 0.006, 0.007, 0.009, 0.012, 0.015, 0.019, 0.024}
+	m, err := FitQuad(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := m.Eval(0.5), m.Eval(1.0)
+	if hi/lo < 2.5 {
+		t.Errorf("model ratio Eval(1.0)/Eval(0.5) = %v, want > 2.5", hi/lo)
+	}
+	if m.R2 < 0.9 {
+		t.Errorf("R2 = %v", m.R2)
+	}
+}

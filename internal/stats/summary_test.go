@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !approx(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{3}, 3},
+		{[]float64{1, 3}, 2},
+		{[]float64{9, 1, 5}, 5},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); !approx(got, c.want, 1e-12) {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {1, 4}, {0.5, 2}, {0.25, 1}, {0.125, 0.5},
+		{-1, 0}, {2, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !approx(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic set is 32/7.
+	if got := Variance(xs); !approx(got, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+	if got := StdDev(xs); !approx(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if Variance([]float64{1}) != 0 {
+		t.Error("Variance of singleton should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Errorf("MinMax(nil) err = %v, want ErrEmpty", err)
+	}
+	min, max, err := MinMax([]float64{3, -2, 7, 0})
+	if err != nil || min != -2 || max != 7 {
+		t.Errorf("MinMax = (%v, %v, %v)", min, max, err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Error("Summarize(nil) should return ErrEmpty")
+	}
+	s, err := Summarize([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || s.Mean != 2 || s.Median != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Correlation(xs, ys); !approx(got, 1, 1e-12) {
+		t.Errorf("perfect positive correlation = %v", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Correlation(xs, neg); !approx(got, -1, 1e-12) {
+		t.Errorf("perfect negative correlation = %v", got)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	if got := Correlation(xs, flat); got != 0 {
+		t.Errorf("zero-variance correlation = %v, want 0", got)
+	}
+	if got := Correlation(xs, xs[:2]); got != 0 {
+		t.Errorf("mismatched length correlation = %v, want 0", got)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 1))
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 2))
+		n := 1 + r.IntN(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	for i := 0; i < 50; i++ {
+		if !f(rng.Uint64()) {
+			t.Fatal("quantiles not monotone in q")
+		}
+	}
+}
+
+func TestMeanBoundsProperty(t *testing.T) {
+	// Property: min <= mean <= max and min <= median <= max.
+	f := func(raw []float64) bool {
+		xs := raw
+		for i, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			// Keep magnitudes small enough that the sum cannot
+			// overflow; the property under test is order, not range.
+			xs[i] = math.Mod(v, 1e6)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		min, max, _ := MinMax(xs)
+		m := Mean(xs)
+		md := Median(xs)
+		return m >= min-1e-9*math.Abs(min)-1e-9 && m <= max+1e-9*math.Abs(max)+1e-9 &&
+			md >= min && md <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package trace defines the signal-level vocabulary observed by the
+// hardware monitor: the per-cycle opcodes visible on each Computational
+// Element (CE) bus and on the shared memory buses of the simulated
+// Alliant FX/8, and the fixed-width records a logic analyzer captures.
+//
+// The package corresponds to the probe points of McGuire's study
+// (chapter 3.3): CE-to-cache bus opcode per CE, shared memory bus
+// opcode, and the Concurrency Control Bus activity state.
+package trace
+
+import "fmt"
+
+// CEOp is the opcode visible on a CE-to-cache bus during one cycle.
+// Miss-qualified opcodes are emitted on the cycle an access is
+// determined to miss in the shared cache; the study's Missrate is the
+// fraction of bus cycles carrying a miss-qualified opcode.
+type CEOp uint8
+
+// CE bus opcodes.
+const (
+	CEIdle  CEOp = iota // bus not occupied
+	CERead              // data read, shared-cache hit path
+	CEWrite             // data write, shared-cache hit path
+	CEFetch             // instruction fetch forwarded to shared cache
+	CEReadMiss
+	CEWriteMiss
+	CEFetchMiss
+	numCEOps
+)
+
+// NumCEOps is the number of distinct CE bus opcodes.
+const NumCEOps = int(numCEOps)
+
+// String returns the mnemonic used in reduced event-count listings.
+func (op CEOp) String() string {
+	switch op {
+	case CEIdle:
+		return "IDLE"
+	case CERead:
+		return "READ"
+	case CEWrite:
+		return "WRITE"
+	case CEFetch:
+		return "FETCH"
+	case CEReadMiss:
+		return "READ.MISS"
+	case CEWriteMiss:
+		return "WRITE.MISS"
+	case CEFetchMiss:
+		return "FETCH.MISS"
+	}
+	return fmt.Sprintf("CEOp(%d)", uint8(op))
+}
+
+// Busy reports whether the opcode occupies the bus (anything but idle).
+func (op CEOp) Busy() bool { return op != CEIdle }
+
+// Miss reports whether the opcode is miss-qualified.
+func (op CEOp) Miss() bool {
+	return op == CEReadMiss || op == CEWriteMiss || op == CEFetchMiss
+}
+
+// MemOp is the opcode visible on a shared memory bus during one cycle.
+type MemOp uint8
+
+// Memory bus opcodes.
+const (
+	MemIdle  MemOp = iota
+	MemRead        // cache line fill from main memory
+	MemWrite       // dirty line write-back
+	MemInval       // coherence invalidate between caches
+	MemIPRead
+	MemIPWrite
+	numMemOps
+)
+
+// NumMemOps is the number of distinct memory bus opcodes.
+const NumMemOps = int(numMemOps)
+
+// String returns the mnemonic used in reduced event-count listings.
+func (op MemOp) String() string {
+	switch op {
+	case MemIdle:
+		return "IDLE"
+	case MemRead:
+		return "READ"
+	case MemWrite:
+		return "WRITE"
+	case MemInval:
+		return "INVAL"
+	case MemIPRead:
+		return "IP.READ"
+	case MemIPWrite:
+		return "IP.WRITE"
+	}
+	return fmt.Sprintf("MemOp(%d)", uint8(op))
+}
+
+// Busy reports whether the opcode occupies the bus.
+func (op MemOp) Busy() bool { return op != MemIdle }

@@ -1,0 +1,110 @@
+package trace
+
+// NumCE is the number of Computational Elements in the measured
+// cluster configuration (an FX/8).
+const NumCE = 8
+
+// NumMemBus is the number of shared memory buses between the caches
+// and main memory.
+const NumMemBus = 2
+
+// Record is one logic-analyzer record: the state of the probed signals
+// latched on a single bus cycle.  It matches the three probe points of
+// the study: the eight CE buses, the memory buses, and the Concurrency
+// Control Bus activity state.
+//
+// Active[i] reports whether CE i was executing on that cycle — either
+// inside a concurrent operation (CCB concurrency-active) or running
+// the serial thread of a scheduled process.  num_j / prof_j event
+// counts reduce over this field.
+type Record struct {
+	CE     [NumCE]CEOp
+	Mem    [NumMemBus]MemOp
+	Active [NumCE]bool
+}
+
+// ActiveCount returns the number of processors active in the record.
+func (r Record) ActiveCount() int {
+	n := 0
+	for _, a := range r.Active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// BusyCount returns the number of CE buses occupied in the record.
+func (r Record) BusyCount() int {
+	n := 0
+	for _, op := range r.CE {
+		if op.Busy() {
+			n++
+		}
+	}
+	return n
+}
+
+// MissCount returns the number of CE buses carrying a miss-qualified
+// opcode in the record.
+func (r Record) MissCount() int {
+	n := 0
+	for _, op := range r.CE {
+		if op.Miss() {
+			n++
+		}
+	}
+	return n
+}
+
+// Signal packing.  The DAS 9100 used in the study acquires up to 80
+// binary signals per record.  The simulated probe head packs a Record
+// into a 64-bit word: 3 bits of opcode per CE bus (24), 3 bits per
+// memory bus (6), and 1 activity bit per CE (8), totaling 38 signals.
+
+const (
+	ceOpBits  = 3
+	memOpBits = 3
+	ceOpMask  = 1<<ceOpBits - 1
+	memOpMask = 1<<memOpBits - 1
+
+	memShift    = NumCE * ceOpBits
+	activeShift = memShift + NumMemBus*memOpBits
+
+	// SignalCount is the number of probe signals a packed record
+	// occupies on the analyzer pod (must be <= the pod width, 80).
+	SignalCount = activeShift + NumCE
+)
+
+// Pack encodes the record into a signal word as captured on the
+// analyzer probe pods.
+func (r Record) Pack() uint64 {
+	var w uint64
+	for i, op := range r.CE {
+		w |= uint64(op&ceOpMask) << (i * ceOpBits)
+	}
+	for i, op := range r.Mem {
+		w |= uint64(op&memOpMask) << (memShift + i*memOpBits)
+	}
+	for i, a := range r.Active {
+		if a {
+			w |= 1 << (activeShift + i)
+		}
+	}
+	return w
+}
+
+// Unpack decodes a signal word captured on the analyzer probe pods.
+func Unpack(w uint64) Record {
+	var r Record
+	for i := range r.CE {
+		r.CE[i] = CEOp(w >> (i * ceOpBits) & ceOpMask)
+	}
+	for i := range r.Mem {
+		r.Mem[i] = MemOp(w >> (memShift + i*memOpBits) & memOpMask)
+	}
+	for i := range r.Active {
+		r.Active[i] = w>>(activeShift+i)&1 != 0
+	}
+	return r
+}

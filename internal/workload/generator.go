@@ -1,0 +1,412 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/concentrix"
+	"repro/internal/fx8"
+)
+
+// Kind classifies a generated job.
+type Kind int
+
+// Job kinds: scalar batch work (compiles, editors, serial numerics),
+// vectorized numerical applications dominated by concurrent loops, and
+// numerical jobs restricted to a small cluster resource class.
+const (
+	KindSerial Kind = iota
+	KindNumeric
+	KindSmallCluster
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSerial:
+		return "serial"
+	case KindNumeric:
+		return "numeric"
+	case KindSmallCluster:
+		return "small-cluster"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Profile is the tunable description of a workload mix.  PaperMix
+// returns the calibration that reproduces the study's measured
+// distributions.
+type Profile struct {
+	Seed uint64
+
+	// Job mix weights (relative probabilities).
+	WSerial, WNumeric, WSmallCluster int
+
+	// Arrival structure: after scheduling a job the generator
+	// advances time by the job's estimated service plus, with
+	// IdleProb, an idle gap (uniform in [1, IdleGapMax] cycles) —
+	// the machine's quiet periods.
+	IdleProb   float64
+	IdleGapMax int
+
+	// Numeric job structure.
+	LoopsPerJobMean   int     // concurrent loops per job
+	TripsJMax         int     // trips = 8*j + leftover, j in [2, TripsJMax]
+	LeftoverTwoProb   float64 // probability leftover == 2 (section 4.3)
+	TinyTripProb      float64 // probability of a 3..6-trip loop
+	DepProb           float64 // probability a loop carries a dependence
+	DepMin, DepMax    int     // dependence distance range
+	ChunksMean        int     // body chunks per iteration
+	ChunksSpread      int     // +/- variance (conditional branching)
+	ChunksSpreadProb  float64 // fraction of loops with branchy (variable) bodies
+	VComputeCycles    int
+	ScalarCycles      int
+	FreshBytesPerIter uint32  // streaming (miss-generating) data per iteration
+	StreamingProb     float64 // fraction of numeric jobs that are streaming (out-of-core) codes
+	GapInstrsMax      int     // serial instructions between loops
+	PrologueInstrs    int     // serial setup before the first loop
+
+	// Serial job structure.
+	SerialInstrsMin, SerialInstrsMax int
+	SerialMemProb                    float64
+	SerialFarProb                    float64
+
+	// SmallClusterSizes are the resource classes small-cluster jobs
+	// draw from.
+	SmallClusterSizes []int
+}
+
+// PaperMix returns the workload calibration targeting the study's
+// measured values: overall workload concurrency near 0.35, mean
+// concurrency level near 7.7, a 2-dominant transition distribution,
+// and the cache/bus/fault relationships of chapter 5.
+func PaperMix(seed uint64) Profile {
+	return Profile{
+		Seed:              seed,
+		WSerial:           56,
+		WNumeric:          66,
+		WSmallCluster:     3,
+		IdleProb:          0.5,
+		IdleGapMax:        420_000,
+		LoopsPerJobMean:   10,
+		TripsJMax:         30,
+		LeftoverTwoProb:   0.5,
+		TinyTripProb:      0.06,
+		DepProb:           0.25,
+		DepMin:            6,
+		DepMax:            16,
+		ChunksMean:        4,
+		ChunksSpread:      1,
+		ChunksSpreadProb:  0.2,
+		VComputeCycles:    40,
+		ScalarCycles:      16,
+		FreshBytesPerIter: 1024,
+		StreamingProb:     0.5,
+		GapInstrsMax:      900,
+		PrologueInstrs:    2500,
+		SerialInstrsMin:   25_000,
+		SerialInstrsMax:   150_000,
+		SerialMemProb:     0.22,
+		SerialFarProb:     0.015,
+		SmallClusterSizes: []int{2, 3, 4, 5, 6},
+	}
+}
+
+// Generator produces jobs and whole sessions from a profile,
+// deterministically from the profile seed.
+type Generator struct {
+	prof Profile
+	rng  *rand.Rand
+	pid  int
+}
+
+// NewGenerator builds a generator for the profile.
+func NewGenerator(prof Profile) *Generator {
+	return &Generator{
+		prof: prof,
+		rng:  rand.New(rand.NewPCG(prof.Seed, 0x90b)),
+		pid:  1,
+	}
+}
+
+// procBase assigns each process a distinct 4 MB address slot so
+// different jobs do not alias in the physically-indexed shared cache.
+func procBase(pid int) uint32 {
+	return uint32(pid%56)*(4<<20) + (16 << 20)
+}
+
+// Region offsets within a process slot.
+const (
+	offCode   = 0
+	offWS     = 64 << 10
+	offFar    = 512 << 10
+	offReuse  = 1 << 20
+	offFresh  = 2 << 20
+	freshSpan = 2 << 20 // fresh regions cycle within [offFresh, offFresh+freshSpan)
+
+	// residentWindow is the streaming span of blocked (non-streaming)
+	// kernels: larger than the shared cache, so re-walks miss, but
+	// small enough to stay page-resident after the prologue warms it.
+	residentWindow = 192 << 10
+)
+
+// NextKind draws a job kind by the profile weights.
+func (g *Generator) NextKind() Kind {
+	total := g.prof.WSerial + g.prof.WNumeric + g.prof.WSmallCluster
+	if total <= 0 {
+		return KindNumeric
+	}
+	r := g.rng.IntN(total)
+	if r < g.prof.WSerial {
+		return KindSerial
+	}
+	if r < g.prof.WSerial+g.prof.WNumeric {
+		return KindNumeric
+	}
+	return KindSmallCluster
+}
+
+// Job generates one job of the given kind.  The returned estimate is
+// the generator's guess at the job's service demand in cycles, used
+// for arrival spacing.
+func (g *Generator) Job(kind Kind) (p *concentrix.Process, estimate uint64) {
+	pid := g.pid
+	g.pid++
+	switch kind {
+	case KindSerial:
+		return g.serialJob(pid)
+	case KindSmallCluster:
+		size := g.prof.SmallClusterSizes[g.rng.IntN(len(g.prof.SmallClusterSizes))]
+		return g.numericJob(pid, size)
+	default:
+		return g.numericJob(pid, 8)
+	}
+}
+
+func (g *Generator) serialJob(pid int) (*concentrix.Process, uint64) {
+	base := procBase(pid)
+	span := g.prof.SerialInstrsMax - g.prof.SerialInstrsMin
+	instrs := g.prof.SerialInstrsMin
+	if span > 0 {
+		instrs += g.rng.IntN(span)
+	}
+	stream := NewSerialPhase(SerialParams{
+		Instrs:      instrs,
+		MemProb:     g.prof.SerialMemProb,
+		StoreProb:   0.3,
+		WSBase:      base + offWS,
+		WSBytes:     24 << 10,
+		FarProb:     g.prof.SerialFarProb,
+		FarBase:     base + offFar,
+		FarBytes:    256 << 10,
+		CodeBase:    base + offCode,
+		CodeBytes:   6 << 10,
+		MeanCompute: 2,
+		Seed:        g.rng.Uint64(),
+	})
+	est := uint64(instrs) * 3
+	return &concentrix.Process{
+		PID:         pid,
+		Name:        fmt.Sprintf("serial-%d", pid),
+		ClusterSize: 1,
+		Serial:      stream,
+	}, est
+}
+
+// numericJob builds a vectorized numerical application: a serial
+// prologue, then a chain of concurrent loops separated by short serial
+// sections (data redistribution, scalar reductions).
+func (g *Generator) numericJob(pid, clusterSize int) (*concentrix.Process, uint64) {
+	base := procBase(pid)
+	// The streaming decision is a property of the application: heavy
+	// out-of-core codes both stream more data and run longer loop
+	// chains, which is what couples high workload concurrency with
+	// high data intensity in the measured machine's samples.
+	streaming := g.rng.Float64() < g.prof.StreamingProb
+	loopSpan := 3 * g.prof.LoopsPerJobMean / 2
+	if streaming {
+		loopSpan = 3 * g.prof.LoopsPerJobMean
+	}
+	if clusterSize < 8 {
+		// Small-cluster runs are brief subset experiments, not
+		// production chains.
+		loopSpan = g.prof.LoopsPerJobMean / 2
+		if loopSpan < 2 {
+			loopSpan = 2
+		}
+	}
+	loops := 1 + g.rng.IntN(loopSpan)
+	streams := make([]fx8.Stream, 0, 2*loops+2)
+
+	if !streaming || clusterSize < 8 {
+		// Blocked codes read their input during setup, so the loop
+		// phases run without page faults (their misses are cache
+		// capacity misses over the warmed window).  One load per
+		// page of the residentWindow.
+		warm := &fx8.SliceStream{}
+		for off := uint32(0); off < residentWindow; off += 4096 {
+			warm.Instrs = append(warm.Instrs, fx8.Instr{
+				Op: fx8.OpLoad, Addr: base + offFresh + off,
+				IAddr: base + offCode + 0x1000 + off%4096,
+			})
+		}
+		streams = append(streams, warm)
+	}
+
+	streams = append(streams, NewSerialPhase(SerialParams{
+		Instrs:      g.prof.PrologueInstrs,
+		MemProb:     g.prof.SerialMemProb,
+		StoreProb:   0.4,
+		WSBase:      base + offWS,
+		WSBytes:     24 << 10,
+		FarProb:     g.prof.SerialFarProb,
+		FarBase:     base + offFar,
+		FarBytes:    256 << 10,
+		CodeBase:    base + offCode,
+		CodeBytes:   6 << 10,
+		MeanCompute: 2,
+		Seed:        g.rng.Uint64(),
+	}))
+	var est uint64 = uint64(g.prof.PrologueInstrs) * 3
+
+	bodyCycles := g.estBodyCycles()
+	for l := 0; l < loops; l++ {
+		lp := g.loopParams(base, l, streaming, clusterSize)
+		cstart := CStart(NewLoop(lp), base+offCode+0x2000)
+		streams = append(streams, &fx8.SliceStream{Instrs: []fx8.Instr{cstart}})
+		workers := clusterSize
+		if lp.Trips < workers {
+			workers = lp.Trips
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		est += uint64(lp.Trips) * bodyCycles / uint64(workers)
+
+		gapMax := g.prof.GapInstrsMax
+		if !streaming {
+			// Blocked kernels alternate with scalar reductions and
+			// data rearrangement; streaming sweeps run back to back.
+			gapMax *= 6
+		}
+		gap := 1 + g.rng.IntN(gapMax)
+		streams = append(streams, NewSerialPhase(SerialParams{
+			Instrs:      gap,
+			MemProb:     g.prof.SerialMemProb,
+			StoreProb:   0.4,
+			WSBase:      base + offWS,
+			WSBytes:     24 << 10,
+			CodeBase:    base + offCode,
+			CodeBytes:   6 << 10,
+			MeanCompute: 2,
+			Seed:        g.rng.Uint64(),
+		}))
+		est += uint64(gap) * 3
+	}
+
+	name := "numeric"
+	if clusterSize < 8 {
+		name = "small-cluster"
+	}
+	return &concentrix.Process{
+		PID:         pid,
+		Name:        fmt.Sprintf("%s-%d", name, pid),
+		ClusterSize: clusterSize,
+		Serial:      &fx8.ConcatStream{Streams: streams},
+	}, est
+}
+
+// loopParams draws one concurrent loop for a numeric job.  A job
+// restricted to a small cluster still processes the full problem, so
+// its per-iteration data intensity scales up as the CE count scales
+// down — which keeps per-bus miss density roughly independent of the
+// concurrency level, the section 5.1 locality observation.
+func (g *Generator) loopParams(base uint32, loopIdx int, streaming bool, clusterSize int) LoopParams {
+	var trips int
+	if g.rng.Float64() < g.prof.TinyTripProb {
+		trips = 3 + g.rng.IntN(4)
+	} else {
+		j := 4 + g.rng.IntN(g.prof.TripsJMax-3)
+		leftover := g.rng.IntN(8)
+		if g.rng.Float64() < g.prof.LeftoverTwoProb {
+			leftover = 2
+		}
+		trips = 8*j + leftover
+	}
+	dep := 0
+	if g.rng.Float64() < g.prof.DepProb {
+		dep = g.prof.DepMin + g.rng.IntN(g.prof.DepMax-g.prof.DepMin+1)
+	}
+	fresh := g.prof.FreshBytesPerIter
+	if !streaming {
+		// A blocked, mostly cache-resident kernel: a thin uniform
+		// streaming component (same per iteration, so round
+		// synchronization survives) instead of the full stream.
+		fresh = 384
+	}
+	if clusterSize >= 1 && clusterSize < 8 {
+		fresh = fresh * 8 / uint32(clusterSize)
+	}
+	// Fresh regions cycle within the process's streaming window.
+	// Full-width streaming codes sweep the whole 2 MB window and
+	// fault continuously; blocked (resident) kernels and small-
+	// cluster runs cycle a window that exceeds the shared cache but
+	// fits the resident set, so they keep missing in cache without
+	// steady-state fault traffic — and without the fault-induced
+	// iteration jitter that would break round synchronization.
+	window := uint32(freshSpan)
+	if !streaming || clusterSize < 8 {
+		window = residentWindow
+	}
+	maxFresh := uint32(trips+1) * fresh
+	freshOff := uint32(loopIdx) * maxFresh
+	if window > maxFresh {
+		freshOff %= window - maxFresh
+	} else {
+		freshOff = 0
+	}
+	spread := 0
+	if g.rng.Float64() < g.prof.ChunksSpreadProb {
+		spread = g.prof.ChunksSpread
+	}
+	return LoopParams{
+		Trips:             trips,
+		Dep:               dep,
+		ChunksMean:        g.prof.ChunksMean,
+		ChunksSpread:      spread,
+		VecLen:            32,
+		ReuseBase:         base + offReuse,
+		ReuseBytes:        64 << 10,
+		FreshBase:         base + offFresh + freshOff,
+		FreshBytesPerIter: fresh,
+		VComputeCycles:    g.prof.VComputeCycles,
+		ScalarCycles:      g.prof.ScalarCycles,
+		CodeBase:          base + offCode + 0x3000,
+		Seed:              g.rng.Uint64(),
+	}
+}
+
+// estBodyCycles estimates one iteration's cycle cost for arrival
+// spacing.
+func (g *Generator) estBodyCycles() uint64 {
+	perChunk := 3*32 + g.prof.VComputeCycles + g.prof.ScalarCycles + 40
+	return uint64(g.prof.ChunksMean*perChunk) + 80
+}
+
+// Session generates the job list of one measurement session: jobs with
+// arrival times covering sessionCycles of machine time, spaced by
+// their estimated service demand and idle gaps.
+func (g *Generator) Session(sessionCycles uint64) []*concentrix.Process {
+	var jobs []*concentrix.Process
+	var t uint64
+	for t < sessionCycles {
+		p, est := g.Job(g.NextKind())
+		p.Arrival = t
+		jobs = append(jobs, p)
+		t += est
+		if g.rng.Float64() < g.prof.IdleProb {
+			t += 1 + uint64(g.rng.IntN(g.prof.IdleGapMax))
+		}
+	}
+	return jobs
+}

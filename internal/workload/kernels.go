@@ -1,0 +1,162 @@
+package workload
+
+import "repro/internal/fx8"
+
+// Named kernel builders: the concrete numerical codes the study's
+// introduction cites as the machine's workload — BLAS-style vector
+// kernels, blocked matrix operations, and dependence-carrying solver
+// sweeps.  Each returns a concurrent loop plus the serial instructions
+// around it, so examples and tests can run recognizable codes instead
+// of abstract phase soups.
+
+// KernelLayout fixes the address regions a kernel operates on.
+type KernelLayout struct {
+	// Base is the start of the kernel's data slot; arrays are laid
+	// out inside it.
+	Base uint32
+
+	// CodeBase locates the kernel's instructions.
+	CodeBase uint32
+
+	// Seed drives per-iteration variance.
+	Seed uint64
+}
+
+// vecBytes8 is the byte span of one 32-element vector of 64-bit
+// elements.
+const vecBytes8 = 32 * 8
+
+// DAXPY builds y := a*x + y over n elements as the Alliant compiler
+// would: a concurrent loop over 32-element strips, each iteration
+// streaming one strip of x and y and storing y back.
+func DAXPY(n int, l KernelLayout) *fx8.Loop {
+	trips := (n + 31) / 32
+	xBase := l.Base
+	yBase := l.Base + uint32(n*8)
+	return &fx8.Loop{
+		Trips: trips,
+		Body: func(iter int) fx8.Stream {
+			off := uint32(iter) * vecBytes8
+			code := l.CodeBase
+			return &fx8.SliceStream{Instrs: []fx8.Instr{
+				{Op: fx8.OpVLoad, Addr: xBase + off, N: 32, IAddr: code},
+				{Op: fx8.OpVLoad, Addr: yBase + off, N: 32, IAddr: code + 4},
+				{Op: fx8.OpVCompute, N: 32, IAddr: code + 8},
+				{Op: fx8.OpVStore, Addr: yBase + off, N: 32, IAddr: code + 12},
+			}}
+		},
+	}
+}
+
+// MatMulBlocked builds a blocked n x n matrix multiply (n a multiple
+// of 32): the concurrent loop runs over output row blocks; each
+// iteration re-walks a cache-resident block of B while streaming a row
+// strip of A — the cross-processor locality pattern of section 5.1.
+func MatMulBlocked(n int, l KernelLayout) *fx8.Loop {
+	blocks := n / 32
+	if blocks < 1 {
+		blocks = 1
+	}
+	rowBytes := uint32(n * 8)
+	aBase := l.Base
+	bBase := l.Base + rowBytes*uint32(n)
+	cBase := bBase + rowBytes*uint32(n)
+	return &fx8.Loop{
+		Trips: blocks,
+		Body: func(iter int) fx8.Stream {
+			s := &fx8.SliceStream{}
+			code := l.CodeBase
+			emit := func(in fx8.Instr) {
+				in.IAddr = code
+				code += 4
+				s.Instrs = append(s.Instrs, in)
+			}
+			aRow := aBase + uint32(iter)*rowBytes
+			cRow := cBase + uint32(iter)*rowBytes
+			for k := 0; k < blocks; k++ {
+				// Stream a strip of A, re-walk a shared block of B.
+				emit(fx8.Instr{Op: fx8.OpVLoad, Addr: aRow + uint32(k)*vecBytes8, N: 32})
+				emit(fx8.Instr{Op: fx8.OpVLoad, Addr: bBase + uint32(k)*vecBytes8, N: 32})
+				emit(fx8.Instr{Op: fx8.OpVCompute, N: 64})
+			}
+			emit(fx8.Instr{Op: fx8.OpVStore, Addr: cRow, N: 32})
+			return s
+		},
+	}
+}
+
+// SolverSweep builds a Gauss-Seidel-style sweep over n rows with a
+// loop-carried dependence of the given distance: iteration i consumes
+// row i-dist's result before producing its own — the compiler-
+// generated DO-loop synchronization of [10] in the study's references.
+func SolverSweep(n, dist int, l KernelLayout) *fx8.Loop {
+	if dist < 1 {
+		dist = 1
+	}
+	rowBytes := uint32(512)
+	return &fx8.Loop{
+		Trips: n,
+		Body: func(iter int) fx8.Stream {
+			row := l.Base + uint32(iter)*rowBytes
+			prev := l.Base
+			if iter >= dist {
+				prev = l.Base + uint32(iter-dist)*rowBytes
+			}
+			code := l.CodeBase
+			return &fx8.SliceStream{Instrs: []fx8.Instr{
+				{Op: fx8.OpAwait, N: int32(iter - dist), IAddr: code},
+				{Op: fx8.OpVLoad, Addr: prev, N: 32, IAddr: code + 4},
+				{Op: fx8.OpVLoad, Addr: row, N: 32, IAddr: code + 8},
+				{Op: fx8.OpVCompute, N: 48, IAddr: code + 12},
+				{Op: fx8.OpVStore, Addr: row, N: 32, IAddr: code + 16},
+				{Op: fx8.OpAdvance, N: int32(iter), IAddr: code + 20},
+			}}
+		},
+	}
+}
+
+// Stencil builds a 1-D three-point stencil over n strips: independent
+// iterations, each reading its strip and both neighbours — adjacent
+// iterations share lines across processors.
+func Stencil(n int, l KernelLayout) *fx8.Loop {
+	return &fx8.Loop{
+		Trips: n,
+		Body: func(iter int) fx8.Stream {
+			at := func(i int) uint32 {
+				if i < 0 {
+					i = 0
+				}
+				if i >= n {
+					i = n - 1
+				}
+				return l.Base + uint32(i)*vecBytes8
+			}
+			code := l.CodeBase
+			return &fx8.SliceStream{Instrs: []fx8.Instr{
+				{Op: fx8.OpVLoad, Addr: at(iter - 1), N: 32, IAddr: code},
+				{Op: fx8.OpVLoad, Addr: at(iter), N: 32, IAddr: code + 4},
+				{Op: fx8.OpVLoad, Addr: at(iter + 1), N: 32, IAddr: code + 8},
+				{Op: fx8.OpVCompute, N: 40, IAddr: code + 12},
+				{Op: fx8.OpVStore, Addr: at(iter) + uint32(n)*vecBytes8, N: 32, IAddr: code + 16},
+			}}
+		},
+	}
+}
+
+// KernelProgram wraps a kernel loop into a runnable serial stream:
+// a short scalar prologue, the concurrent loop, and a scalar epilogue.
+func KernelProgram(loop *fx8.Loop, l KernelLayout) fx8.Stream {
+	return &fx8.ConcatStream{Streams: []fx8.Stream{
+		NewSerialPhase(SerialParams{
+			Instrs: 500, MemProb: 0.2,
+			WSBase: l.Base, WSBytes: 16 << 10,
+			CodeBase: l.CodeBase + 0x4000, Seed: l.Seed,
+		}),
+		&fx8.SliceStream{Instrs: []fx8.Instr{CStart(loop, l.CodeBase+0x5000)}},
+		NewSerialPhase(SerialParams{
+			Instrs: 500, MemProb: 0.2,
+			WSBase: l.Base, WSBytes: 16 << 10,
+			CodeBase: l.CodeBase + 0x4000, Seed: l.Seed + 1,
+		}),
+	}}
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/fx8"
+)
+
+var testLayout = KernelLayout{Base: 0x800000, CodeBase: 0x10000, Seed: 1}
+
+func runKernel(t *testing.T, loop *fx8.Loop, size, limit int) *fx8.Cluster {
+	t.Helper()
+	cfg := fx8.DefaultConfig()
+	cfg.NumIP = 0
+	cl := fx8.New(cfg)
+	if err := cl.Run(KernelProgram(loop, testLayout), size); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < limit && !cl.Idle(); i++ {
+		cl.Step()
+	}
+	if !cl.Idle() {
+		t.Fatalf("kernel did not complete within %d cycles", limit)
+	}
+	return cl
+}
+
+func TestDAXPYStructure(t *testing.T) {
+	loop := DAXPY(128, testLayout)
+	if loop.Trips != 4 {
+		t.Fatalf("trips = %d, want 4", loop.Trips)
+	}
+	instrs := drain(loop.Body(0))
+	if len(instrs) != 4 {
+		t.Fatalf("body length = %d", len(instrs))
+	}
+	// x load, y load, compute, y store; the store targets the y
+	// region.
+	if instrs[0].Op != fx8.OpVLoad || instrs[3].Op != fx8.OpVStore {
+		t.Error("body shape wrong")
+	}
+	if instrs[3].Addr != instrs[1].Addr {
+		t.Error("store should write back to y")
+	}
+}
+
+func TestDAXPYRoundsUp(t *testing.T) {
+	if got := DAXPY(33, testLayout).Trips; got != 2 {
+		t.Errorf("trips = %d, want 2 (ceil)", got)
+	}
+}
+
+func TestDAXPYRuns(t *testing.T) {
+	cl := runKernel(t, DAXPY(1024, testLayout), 8, 1_000_000)
+	if cl.CCBus().IterationsRun != 32 {
+		t.Errorf("iterations = %d, want 32", cl.CCBus().IterationsRun)
+	}
+}
+
+func TestMatMulBlockedRuns(t *testing.T) {
+	cl := runKernel(t, MatMulBlocked(128, testLayout), 8, 2_000_000)
+	if cl.CCBus().IterationsRun != 4 {
+		t.Errorf("iterations = %d, want 4 row blocks", cl.CCBus().IterationsRun)
+	}
+	if cl.Cache().Hits == 0 {
+		t.Error("blocked matmul should hit on the shared B block")
+	}
+}
+
+func TestMatMulMinimumOneBlock(t *testing.T) {
+	if got := MatMulBlocked(8, testLayout).Trips; got != 1 {
+		t.Errorf("tiny matmul trips = %d, want 1", got)
+	}
+}
+
+func TestSolverSweepDependence(t *testing.T) {
+	loop := SolverSweep(16, 4, testLayout)
+	instrs := drain(loop.Body(10))
+	if instrs[0].Op != fx8.OpAwait || int(instrs[0].N) != 6 {
+		t.Errorf("iteration 10 should await stage 6: %+v", instrs[0])
+	}
+	last := instrs[len(instrs)-1]
+	if last.Op != fx8.OpAdvance || int(last.N) != 10 {
+		t.Errorf("iteration should advance its own stage: %+v", last)
+	}
+}
+
+func TestSolverSweepDistanceClamp(t *testing.T) {
+	loop := SolverSweep(4, 0, testLayout)
+	instrs := drain(loop.Body(1))
+	if int(instrs[0].N) != 0 {
+		t.Error("distance should clamp to 1")
+	}
+}
+
+func TestSolverSweepRuns(t *testing.T) {
+	cl := runKernel(t, SolverSweep(32, 4, testLayout), 8, 2_000_000)
+	if cl.CCBus().IterationsRun != 32 {
+		t.Errorf("iterations = %d", cl.CCBus().IterationsRun)
+	}
+	var await uint64
+	for i := 0; i < 8; i++ {
+		await += cl.CE(i).AwaitCycles
+	}
+	if await == 0 {
+		t.Error("solver sweep should accumulate dependence waiting")
+	}
+}
+
+func TestStencilNeighbours(t *testing.T) {
+	loop := Stencil(8, testLayout)
+	instrs := drain(loop.Body(3))
+	// Loads at strips 2, 3, 4.
+	want := []uint32{
+		testLayout.Base + 2*vecBytes8,
+		testLayout.Base + 3*vecBytes8,
+		testLayout.Base + 4*vecBytes8,
+	}
+	for i, w := range want {
+		if instrs[i].Addr != w {
+			t.Errorf("load %d addr = %#x, want %#x", i, instrs[i].Addr, w)
+		}
+	}
+	// Boundary clamping.
+	edge := drain(loop.Body(0))
+	if edge[0].Addr != testLayout.Base {
+		t.Error("left boundary should clamp")
+	}
+	edge = drain(loop.Body(7))
+	if edge[2].Addr != testLayout.Base+7*vecBytes8 {
+		t.Error("right boundary should clamp")
+	}
+}
+
+func TestStencilRuns(t *testing.T) {
+	cl := runKernel(t, Stencil(64, testLayout), 8, 2_000_000)
+	if cl.CCBus().IterationsRun != 64 {
+		t.Errorf("iterations = %d", cl.CCBus().IterationsRun)
+	}
+}
+
+func TestKernelProgramHasSerialPhases(t *testing.T) {
+	prog := KernelProgram(DAXPY(64, testLayout), testLayout)
+	sawCStart := false
+	n := 0
+	for {
+		in, ok := prog.Next()
+		if !ok {
+			break
+		}
+		n++
+		if in.Op == fx8.OpCStart {
+			sawCStart = true
+		}
+	}
+	if !sawCStart {
+		t.Error("program should contain the concurrent start")
+	}
+	if n < 1000 {
+		t.Errorf("program too short: %d instructions", n)
+	}
+}

@@ -1,0 +1,326 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/concentrix"
+	"repro/internal/fx8"
+)
+
+func drain(s fx8.Stream) []fx8.Instr {
+	var out []fx8.Instr
+	for {
+		in, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, in)
+	}
+}
+
+func TestSerialPhaseLength(t *testing.T) {
+	s := NewSerialPhase(SerialParams{Instrs: 500, MemProb: 0.3, Seed: 1})
+	if got := len(drain(s)); got != 500 {
+		t.Fatalf("instructions = %d, want 500", got)
+	}
+}
+
+func TestSerialPhaseMix(t *testing.T) {
+	p := SerialParams{
+		Instrs: 20000, MemProb: 0.25, StoreProb: 0.4,
+		WSBase: 0x10000, WSBytes: 16 << 10, Seed: 7,
+	}
+	instrs := drain(NewSerialPhase(p))
+	mem, stores := 0, 0
+	for _, in := range instrs {
+		switch in.Op {
+		case fx8.OpLoad:
+			mem++
+		case fx8.OpStore:
+			mem++
+			stores++
+		case fx8.OpCompute:
+		default:
+			t.Fatalf("unexpected opcode %d in serial phase", in.Op)
+		}
+	}
+	frac := float64(mem) / float64(len(instrs))
+	if frac < 0.22 || frac > 0.28 {
+		t.Errorf("memory fraction = %v, want ~0.25", frac)
+	}
+	sfrac := float64(stores) / float64(mem)
+	if sfrac < 0.32 || sfrac > 0.48 {
+		t.Errorf("store fraction = %v, want ~0.4", sfrac)
+	}
+}
+
+func TestSerialPhaseAddressesInWorkingSet(t *testing.T) {
+	p := SerialParams{
+		Instrs: 5000, MemProb: 0.5,
+		WSBase: 0x40000, WSBytes: 8 << 10,
+		FarProb: 0, Seed: 3,
+	}
+	for _, in := range drain(NewSerialPhase(p)) {
+		if in.Op == fx8.OpLoad || in.Op == fx8.OpStore {
+			if in.Addr < 0x40000 || in.Addr >= 0x40000+8<<10 {
+				t.Fatalf("address %#x outside working set", in.Addr)
+			}
+			if in.Addr%8 != 0 {
+				t.Fatalf("address %#x not 8-byte aligned", in.Addr)
+			}
+		}
+	}
+}
+
+func TestSerialPhaseDeterminism(t *testing.T) {
+	p := SerialParams{Instrs: 1000, MemProb: 0.3, FarProb: 0.1,
+		FarBase: 0x80000, FarBytes: 4096, Seed: 42}
+	a := drain(NewSerialPhase(p))
+	b := drain(NewSerialPhase(p))
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+}
+
+func TestLoopBodyDeterministicPerIteration(t *testing.T) {
+	lp := LoopParams{
+		Trips: 10, ChunksMean: 4, ChunksSpread: 2, VecLen: 32,
+		ReuseBase: 0x100000, ReuseBytes: 64 << 10,
+		FreshBase: 0x200000, FreshBytesPerIter: 512,
+		VComputeCycles: 20, ScalarCycles: 8, Seed: 99,
+	}
+	loop := NewLoop(lp)
+	for iter := 0; iter < 10; iter++ {
+		a := drain(loop.Body(iter))
+		b := drain(loop.Body(iter))
+		if len(a) != len(b) {
+			t.Fatalf("iteration %d lengths differ", iter)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("iteration %d instruction %d differs", iter, i)
+			}
+		}
+	}
+}
+
+func TestLoopBodyVariance(t *testing.T) {
+	lp := LoopParams{
+		Trips: 64, ChunksMean: 4, ChunksSpread: 2, VecLen: 32,
+		ReuseBase: 0x100000, ReuseBytes: 64 << 10, Seed: 5,
+	}
+	loop := NewLoop(lp)
+	lengths := map[int]bool{}
+	for iter := 0; iter < 64; iter++ {
+		lengths[len(drain(loop.Body(iter)))] = true
+	}
+	if len(lengths) < 2 {
+		t.Error("body lengths should vary across iterations (branch variance)")
+	}
+}
+
+func TestLoopBodyDependenceBracketing(t *testing.T) {
+	lp := LoopParams{
+		Trips: 8, Dep: 4, ChunksMean: 4, VecLen: 32,
+		ReuseBase: 0x100000, ReuseBytes: 64 << 10, Seed: 11,
+	}
+	loop := NewLoop(lp)
+	for iter := 0; iter < 8; iter++ {
+		instrs := drain(loop.Body(iter))
+		awaits, advances := 0, 0
+		awaitPos, advancePos := -1, -1
+		for i, in := range instrs {
+			switch in.Op {
+			case fx8.OpAwait:
+				awaits++
+				awaitPos = i
+				if got := int(in.N); got != iter-4 {
+					t.Fatalf("iter %d awaits stage %d, want %d", iter, got, iter-4)
+				}
+			case fx8.OpAdvance:
+				advances++
+				advancePos = i
+				if got := int(in.N); got != iter {
+					t.Fatalf("iter %d advances stage %d, want %d", iter, got, iter)
+				}
+			}
+		}
+		if awaits != 1 || advances != 1 {
+			t.Fatalf("iter %d has %d awaits, %d advances", iter, awaits, advances)
+		}
+		if awaitPos >= advancePos {
+			t.Fatalf("await (%d) must precede advance (%d)", awaitPos, advancePos)
+		}
+	}
+}
+
+func TestLoopBodyFreshAddressesAdvance(t *testing.T) {
+	lp := LoopParams{
+		Trips: 4, ChunksMean: 4, VecLen: 32,
+		ReuseBase: 0x100000, ReuseBytes: 64 << 10,
+		FreshBase: 0x200000, FreshBytesPerIter: 512, Seed: 2,
+	}
+	loop := NewLoop(lp)
+	seen := map[uint32]int{}
+	for iter := 0; iter < 4; iter++ {
+		for _, in := range drain(loop.Body(iter)) {
+			if in.Op == fx8.OpVLoad && in.Addr >= 0x200000 {
+				if prev, dup := seen[in.Addr]; dup {
+					t.Fatalf("fresh address %#x reused by iterations %d and %d", in.Addr, prev, iter)
+				}
+				seen[in.Addr] = iter
+			}
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no fresh streaming accesses generated")
+	}
+}
+
+func TestGeneratorKindsAndDeterminism(t *testing.T) {
+	prof := PaperMix(123)
+	g1 := NewGenerator(prof)
+	g2 := NewGenerator(prof)
+	for i := 0; i < 20; i++ {
+		k1, k2 := g1.NextKind(), g2.NextKind()
+		if k1 != k2 {
+			t.Fatal("generators with same seed diverge")
+		}
+	}
+}
+
+func TestGeneratorJobShapes(t *testing.T) {
+	g := NewGenerator(PaperMix(7))
+	p, est := g.Job(KindSerial)
+	if p.ClusterSize != 1 {
+		t.Errorf("serial job cluster size = %d, want 1", p.ClusterSize)
+	}
+	if est == 0 {
+		t.Error("serial estimate should be positive")
+	}
+	p, _ = g.Job(KindNumeric)
+	if p.ClusterSize != 8 {
+		t.Errorf("numeric job cluster size = %d, want 8", p.ClusterSize)
+	}
+	p, _ = g.Job(KindSmallCluster)
+	if p.ClusterSize < 2 || p.ClusterSize > 6 {
+		t.Errorf("small-cluster size = %d", p.ClusterSize)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSerial.String() != "serial" || KindNumeric.String() != "numeric" ||
+		KindSmallCluster.String() != "small-cluster" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind name wrong")
+	}
+}
+
+func TestTripCountLeftoverBias(t *testing.T) {
+	prof := PaperMix(99)
+	prof.LeftoverTwoProb = 1.0
+	prof.TinyTripProb = 0
+	g := NewGenerator(prof)
+	for i := 0; i < 50; i++ {
+		lp := g.loopParams(0x1000000, i, true, 8)
+		if lp.Trips%8 != 2 {
+			t.Fatalf("trips = %d, want ≡ 2 (mod 8) with LeftoverTwoProb=1", lp.Trips)
+		}
+	}
+}
+
+func TestSessionArrivalsMonotone(t *testing.T) {
+	g := NewGenerator(PaperMix(3))
+	jobs := g.Session(5_000_000)
+	if len(jobs) < 2 {
+		t.Fatalf("session too small: %d jobs", len(jobs))
+	}
+	var prev uint64
+	pids := map[int]bool{}
+	for _, j := range jobs {
+		if j.Arrival < prev {
+			t.Fatal("arrivals must be non-decreasing")
+		}
+		prev = j.Arrival
+		if pids[j.PID] {
+			t.Fatalf("duplicate PID %d", j.PID)
+		}
+		pids[j.PID] = true
+	}
+}
+
+func TestProcBaseSeparation(t *testing.T) {
+	// Distinct nearby PIDs must land in distinct 4 MB slots.
+	seen := map[uint32]int{}
+	for pid := 1; pid <= 56; pid++ {
+		b := procBase(pid)
+		if other, ok := seen[b]; ok {
+			t.Fatalf("pids %d and %d share base %#x", other, pid, b)
+		}
+		seen[b] = pid
+	}
+}
+
+// TestSessionExecutesOnSystem runs a short generated session through
+// the full OS + cluster stack and sanity-checks the emergent
+// concurrency structure.
+func TestSessionExecutesOnSystem(t *testing.T) {
+	cfg := fx8.DefaultConfig()
+	cl := fx8.New(cfg)
+	sys := concentrix.NewSystem(cl, concentrix.DefaultSysConfig())
+
+	g := NewGenerator(PaperMix(2026))
+	for _, p := range g.Session(1_500_000) {
+		sys.Submit(p)
+	}
+
+	cycles := 1_500_000
+	counts := make([]uint64, 9)
+	for i := 0; i < cycles; i++ {
+		sys.Step()
+		counts[cl.ActiveCount()]++
+	}
+
+	var conc, total uint64
+	for n, c := range counts {
+		total += c
+		if n >= 2 {
+			conc += c
+		}
+	}
+	cw := float64(conc) / float64(total)
+	if cw < 0.10 || cw > 0.60 {
+		t.Errorf("workload concurrency = %v, want within (0.10, 0.60); counts=%v", cw, counts)
+	}
+	if counts[0] == 0 {
+		t.Error("expected some idle time")
+	}
+	if counts[1] == 0 {
+		t.Error("expected some serial time")
+	}
+	if counts[8] == 0 {
+		t.Error("expected some full-concurrency time")
+	}
+	// Mean concurrency level should be near the top of the range.
+	var wsum, csum uint64
+	for n := 2; n <= 8; n++ {
+		wsum += uint64(n) * counts[n]
+		csum += counts[n]
+	}
+	if csum > 0 {
+		pc := float64(wsum) / float64(csum)
+		if pc < 6.0 {
+			t.Errorf("mean concurrency level = %v, want > 6", pc)
+		}
+	}
+	if sys.Kernel.PageFaults() == 0 {
+		t.Error("expected page fault activity")
+	}
+}
