@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run of the full suite.  -short skips the paper-scale
+# calibration campaign, which is prohibitively slow under the race
+# detector; the engine's fan-out paths are all exercised regardless.
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=BenchmarkRunStudy -benchtime=1x -run=^$$ ./internal/core/
+
+ci: vet build test race

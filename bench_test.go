@@ -8,7 +8,6 @@ package repro
 // once and is shared across benchmarks.
 
 import (
-	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -16,17 +15,12 @@ import (
 	"repro/internal/monitor"
 )
 
-var (
-	benchOnce  sync.Once
-	benchStudy *core.Study
-)
-
+// campaign returns the shared quick-scale campaign.  core.CachedStudy
+// memoizes it by configuration, so the expensive part runs once no
+// matter how many benchmarks ask for it — or how concurrently.
 func campaign(b *testing.B) *core.Study {
 	b.Helper()
-	benchOnce.Do(func() {
-		benchStudy = core.RunStudy(core.QuickScale())
-	})
-	return benchStudy
+	return core.CachedStudy(core.QuickScale(), 0)
 }
 
 // renderBench times an artefact generator and returns the last output

@@ -1,10 +1,12 @@
 // Command figures runs the measurement campaign and regenerates the
 // study's figures (3-14 and the appendix series) as SAS-style text
-// charts.
+// charts.  The campaign's sessions fan out over the session engine's
+// worker pool, and the completed campaign is memoized by configuration
+// so repeated artefact generation shares one run.
 //
 // Usage:
 //
-//	figures [-scale quick|paper] [-only NAME]
+//	figures [-scale quick|paper] [-only NAME] [-workers N]
 //
 // -only selects a single figure by name (e.g. "6", "12", "B.3").
 package main
@@ -12,8 +14,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
 )
@@ -50,32 +53,34 @@ var figureFns = []struct {
 	{"B.10", experiments.FigureB10},
 }
 
-func main() {
-	scale := flag.String("scale", "quick", "campaign scale: quick or paper")
-	only := flag.String("only", "", "render a single figure by name")
-	flag.Parse()
+func main() { cli.Main(run) }
 
-	var cfg core.StudyConfig
-	switch *scale {
-	case "quick":
-		cfg = core.QuickScale()
-	case "paper":
-		cfg = core.PaperScale()
-	default:
-		log.Fatalf("unknown scale %q", *scale)
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	scale := fs.String("scale", "quick", "campaign scale: quick or paper")
+	only := fs.String("only", "", "render a single figure by name")
+	workers := fs.Int("workers", 0, "parallel session workers (0 = one per CPU)")
+	if err := cli.Parse(fs, args); err != nil {
+		return err
 	}
-	st := core.RunStudy(cfg)
+
+	cfg, err := core.ScaleConfig(*scale)
+	if err != nil {
+		return err
+	}
+	st := core.CachedStudy(cfg, *workers)
 
 	if *only != "" {
 		for _, f := range figureFns {
 			if f.Name == *only {
-				fmt.Println(f.Fn(st))
-				return
+				fmt.Fprintln(stdout, f.Fn(st))
+				return nil
 			}
 		}
-		log.Fatalf("unknown figure %q", *only)
+		return fmt.Errorf("unknown figure %q", *only)
 	}
 	for _, f := range figureFns {
-		fmt.Println(f.Fn(st))
+		fmt.Fprintln(stdout, f.Fn(st))
 	}
+	return nil
 }

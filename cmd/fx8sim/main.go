@@ -12,18 +12,25 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 
+	"repro/internal/cli"
 	"repro/internal/concentrix"
 	"repro/internal/core"
 	"repro/internal/fx8"
 	"repro/internal/workload"
 )
 
-func main() {
-	seed := flag.Uint64("seed", 2026, "workload session seed")
-	cycles := flag.Int("cycles", 4_000_000, "cycles to simulate")
-	quietIPs := flag.Bool("quiet-ips", false, "disable IP background traffic")
-	flag.Parse()
+func main() { cli.Main(run) }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fx8sim", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 2026, "workload session seed")
+	cycles := fs.Int("cycles", 4_000_000, "cycles to simulate")
+	quietIPs := fs.Bool("quiet-ips", false, "disable IP background traffic")
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 
 	cfg := fx8.DefaultConfig()
 	cfg.Seed = *seed
@@ -37,7 +44,7 @@ func main() {
 	for _, p := range jobs {
 		sys.Submit(p)
 	}
-	fmt.Printf("fx8sim: %d jobs submitted, simulating %d cycles (seed %d)\n\n",
+	fmt.Fprintf(stdout, "fx8sim: %d jobs submitted, simulating %d cycles (seed %d)\n\n",
 		len(jobs), *cycles, *seed)
 
 	var num [core.P + 1]int
@@ -51,29 +58,30 @@ func main() {
 	}
 
 	m := core.MeasuresFromNum(num)
-	fmt.Println("Active-processor state distribution:")
+	fmt.Fprintln(stdout, "Active-processor state distribution:")
 	for j := core.P; j >= 0; j-- {
-		fmt.Printf("  %d active: %10d cycles (c_%d = %.4f)\n", j, num[j], j, m.C[j])
+		fmt.Fprintf(stdout, "  %d active: %10d cycles (c_%d = %.4f)\n", j, num[j], j, m.C[j])
 	}
-	fmt.Printf("\nWorkload Concurrency  Cw = %.4f\n", m.Cw)
+	fmt.Fprintf(stdout, "\nWorkload Concurrency  Cw = %.4f\n", m.Cw)
 	if m.Defined {
-		fmt.Printf("Mean Concurrency Level Pc = %.2f\n", m.Pc)
-		fmt.Printf("8-active share of concurrency c_8|c = %.3f\n", m.CCond[8])
+		fmt.Fprintf(stdout, "Mean Concurrency Level Pc = %.2f\n", m.Pc)
+		fmt.Fprintf(stdout, "8-active share of concurrency c_8|c = %.3f\n", m.CCond[8])
 	}
 	total := uint64(*cycles) * core.P
-	fmt.Printf("\nCE Bus Busy  = %.4f\n", float64(busy)/float64(total))
-	fmt.Printf("Missrate     = %.5f\n", float64(miss)/float64(total))
+	fmt.Fprintf(stdout, "\nCE Bus Busy  = %.4f\n", float64(busy)/float64(total))
+	fmt.Fprintf(stdout, "Missrate     = %.5f\n", float64(miss)/float64(total))
 
 	cache := cl.Cache()
-	fmt.Printf("\nShared cache: %d hits, %d misses (ratio %.4f), %d write-backs, %d invalidations\n",
+	fmt.Fprintf(stdout, "\nShared cache: %d hits, %d misses (ratio %.4f), %d write-backs, %d invalidations\n",
 		cache.Hits, cache.Misses, cache.MissRatio(), cache.WriteBacks, cache.Invalidations)
-	fmt.Printf("Memory buses: %d transactions, %d busy cycles\n",
+	fmt.Fprintf(stdout, "Memory buses: %d transactions, %d busy cycles\n",
 		cl.Mem().Transactions, cl.Mem().BusyCycles)
-	fmt.Printf("CCB: %d loops, %d iterations, %d advances\n",
+	fmt.Fprintf(stdout, "CCB: %d loops, %d iterations, %d advances\n",
 		cl.CCBus().LoopsStarted, cl.CCBus().IterationsRun, cl.CCBus().AdvanceOps)
-	fmt.Printf("Kernel: %d page faults (%d user, %d system), %d context switches, %d jobs done\n",
+	fmt.Fprintf(stdout, "Kernel: %d page faults (%d user, %d system), %d context switches, %d jobs done\n",
 		sys.Kernel.PageFaults(), sys.Kernel.PageFaultsUser, sys.Kernel.PageFaultsSystem,
 		sys.Kernel.ContextSwitches, sys.Kernel.JobsCompleted)
-	fmt.Printf("Idle cycles: %d (%.1f%%)\n",
+	fmt.Fprintf(stdout, "Idle cycles: %d (%.1f%%)\n",
 		sys.IdleCycles, 100*float64(sys.IdleCycles)/float64(*cycles))
+	return nil
 }

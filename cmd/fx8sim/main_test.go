@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallSimulation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-cycles", "50000", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"fx8sim:", "Active-processor state distribution",
+		"Workload Concurrency", "Shared cache:", "Kernel:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

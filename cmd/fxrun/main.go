@@ -12,45 +12,55 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/fx8"
 	"repro/internal/fxasm"
 )
 
 func main() {
-	cluster := flag.Int("cluster", 8, "cluster resource class (1..8 CEs)")
-	limit := flag.Int("limit", 50_000_000, "cycle budget")
-	flag.Parse()
+	cli.Main(func(args []string, stdout io.Writer) error {
+		return run(args, os.Stdin, stdout)
+	})
+}
 
-	var src io.Reader = os.Stdin
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fxrun", flag.ContinueOnError)
+	cluster := fs.Int("cluster", 8, "cluster resource class (1..8 CEs)")
+	limit := fs.Int("limit", 50_000_000, "cycle budget")
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
+
+	src := stdin
 	name := "(stdin)"
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		src = f
-		name = flag.Arg(0)
+		name = fs.Arg(0)
 	}
 	prog, err := fxasm.Assemble(src)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	prof := core.ProfileProgram(fx8.DefaultConfig(), prog.Stream(), *cluster, *limit)
-	fmt.Printf("%s on a %d-CE cluster:\n", name, *cluster)
-	fmt.Printf("  completed:        %v\n", prof.Completed)
-	fmt.Printf("  cycles:           %d\n", prof.Cycles)
-	fmt.Printf("  loops/iterations: %d / %d\n", prof.LoopCount, prof.Iterations)
-	fmt.Printf("  Cw:               %.3f\n", prof.Conc.Cw)
+	fmt.Fprintf(stdout, "%s on a %d-CE cluster:\n", name, *cluster)
+	fmt.Fprintf(stdout, "  completed:        %v\n", prof.Completed)
+	fmt.Fprintf(stdout, "  cycles:           %d\n", prof.Cycles)
+	fmt.Fprintf(stdout, "  loops/iterations: %d / %d\n", prof.LoopCount, prof.Iterations)
+	fmt.Fprintf(stdout, "  Cw:               %.3f\n", prof.Conc.Cw)
 	if prof.Conc.Defined {
-		fmt.Printf("  Pc:               %.2f\n", prof.Conc.Pc)
+		fmt.Fprintf(stdout, "  Pc:               %.2f\n", prof.Conc.Pc)
 	}
-	fmt.Printf("  CE bus busy:      %.3f\n", prof.BusBusy)
-	fmt.Printf("  missrate:         %.4f\n", prof.MissRate)
-	fmt.Printf("  page faults:      %d\n", prof.PageFaults)
+	fmt.Fprintf(stdout, "  CE bus busy:      %.3f\n", prof.BusBusy)
+	fmt.Fprintf(stdout, "  missrate:         %.4f\n", prof.MissRate)
+	fmt.Fprintf(stdout, "  page faults:      %d\n", prof.PageFaults)
+	return nil
 }

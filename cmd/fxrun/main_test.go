@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunProgramFromStdin(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-cluster", "4", "-limit", "1000000"},
+		strings.NewReader("compute 100\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"(stdin) on a 4-CE cluster", "completed:", "cycles:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("not an opcode at all\n"), &out); err == nil {
+		t.Error("bad program should error")
+	}
+	if err := run([]string{"-no-such-flag"}, strings.NewReader(""), &out); err == nil {
+		t.Error("unknown flag should error")
+	}
+	if err := run([]string{"/no/such/file.fxasm"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing file should error")
+	}
+}

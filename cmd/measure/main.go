@@ -1,75 +1,114 @@
-// Command measure runs one measurement session against a freshly
-// booted machine — random workload sampling or a triggered capture —
-// and prints the reduced event counts and concurrency measures, as the
-// study's measurement control scripts did.
+// Command measure runs measurement sessions against freshly booted
+// machines — random workload sampling or triggered captures — and
+// prints the reduced event counts and concurrency measures, as the
+// study's measurement control scripts did.  Multiple sessions (the
+// study's "different measurement days") fan out over the session
+// engine's worker pool.
 //
 // Usage:
 //
 //	measure [-mode random|all8|transition] [-seed N] [-samples N]
+//	        [-sessions N] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 
+	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/monitor"
 )
 
-func main() {
-	mode := flag.String("mode", "random", "session mode: random, all8 or transition")
-	seed := flag.Uint64("seed", 1987, "session workload seed")
-	samples := flag.Int("samples", 20, "samples to collect")
-	wave := flag.Int("wave", 0, "render the first N records of the first buffer as a waveform")
-	flag.Parse()
+func main() { cli.Main(run) }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("measure", flag.ContinueOnError)
+	mode := fs.String("mode", "random", "session mode: random, all8 or transition")
+	seed := fs.Uint64("seed", 1987, "base workload seed; session i uses seed+i")
+	samples := fs.Int("samples", 20, "samples to collect per session")
+	sessions := fs.Int("sessions", 1, "independent sessions to run (consecutive seeds)")
+	workers := fs.Int("workers", 0, "parallel session workers (0 = one per CPU)")
+	wave := fs.Int("wave", 0, "render the first N records of the first buffer as a waveform")
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
+	if *sessions < 1 {
+		return fmt.Errorf("-sessions must be >= 1, got %d", *sessions)
+	}
 
 	switch *mode {
 	case "random":
-		spec := core.DefaultSessionSpec(*seed)
-		spec.Samples = *samples
-		ses := core.RunRandomSession(1, spec)
-		fmt.Printf("random session: %d samples, %d records\n\n",
-			len(ses.Samples), ses.Total.Records)
-		fmt.Println(experiments.Table1(ses.Total))
-		m := core.MeasuresFromCounts(ses.Total)
-		fmt.Printf("Cw = %.4f", m.Cw)
-		if m.Defined {
-			fmt.Printf("   Pc = %.2f", m.Pc)
+		runs := engine.Map(*workers, *sessions, func(i int) *core.Session {
+			spec := core.DefaultSessionSpec(*seed + uint64(i))
+			spec.Samples = *samples
+			return core.RunRandomSession(i+1, spec)
+		})
+		var total monitor.EventCounts
+		var faults uint64
+		nsamples := 0
+		for _, ses := range runs {
+			total.Add(ses.Total)
+			faults += ses.TotalFaults
+			nsamples += len(ses.Samples)
 		}
-		fmt.Printf("   BusBusy = %.4f   Missrate = %.5f   PageFaults = %d\n",
-			ses.Total.BusBusy(), ses.Total.MissRate(), ses.TotalFaults)
+		fmt.Fprintf(stdout, "random: %d sessions, %d samples, %d records\n\n",
+			len(runs), nsamples, total.Records)
+		fmt.Fprintln(stdout, experiments.Table1(total))
+		m := core.MeasuresFromCounts(total)
+		fmt.Fprintf(stdout, "Cw = %.4f", m.Cw)
+		if m.Defined {
+			fmt.Fprintf(stdout, "   Pc = %.2f", m.Pc)
+		}
+		fmt.Fprintf(stdout, "   BusBusy = %.4f   Missrate = %.5f   PageFaults = %d\n",
+			total.BusBusy(), total.MissRate(), faults)
 
 	case "all8", "transition":
 		trigger := monitor.TriggerAll8
 		if *mode == "transition" {
 			trigger = monitor.TriggerTransition
 		}
-		spec := core.DefaultTriggeredSpec(trigger, *seed)
-		spec.Samples = *samples
-		ts := core.RunTriggeredSession(1, spec)
-		fmt.Printf("%s session: %d buffers captured, %d timeouts\n\n",
-			trigger, len(ts.Buffers), ts.Timeouts)
-		fmt.Println(experiments.Table1(ts.Total))
-		if *wave > 0 && len(ts.Buffers) > 0 {
+		runs := engine.Map(*workers, *sessions, func(i int) *core.TriggeredSession {
+			spec := core.DefaultTriggeredSpec(trigger, *seed+uint64(i))
+			spec.Samples = *samples
+			return core.RunTriggeredSession(i+1, spec)
+		})
+		var total monitor.EventCounts
+		timeouts, nbufs := 0, 0
+		for _, ts := range runs {
+			total.Add(ts.Total)
+			timeouts += ts.Timeouts
+			nbufs += len(ts.Buffers)
+		}
+		fmt.Fprintf(stdout, "%s: %d sessions, %d buffers captured, %d timeouts\n\n",
+			trigger, len(runs), nbufs, timeouts)
+		fmt.Fprintln(stdout, experiments.Table1(total))
+		if *wave > 0 && len(runs) > 0 && len(runs[0].Buffers) > 0 {
+			buf := runs[0].Buffers[0]
 			n := *wave
-			if n > len(ts.Buffers[0]) {
-				n = len(ts.Buffers[0])
+			if n > len(buf) {
+				n = len(buf)
 			}
-			fmt.Println(monitor.Waveform(ts.Buffers[0][:n], 100))
+			fmt.Fprintln(stdout, monitor.Waveform(buf[:n], 100))
 		}
 		if trigger == monitor.TriggerTransition {
-			st := core.AnalyzeTransitions(ts.Buffers)
-			fmt.Println("Transition-state shares:")
+			var st core.TransitionStats
+			for _, ts := range runs {
+				st.Add(core.AnalyzeTransitions(ts.Buffers))
+			}
+			fmt.Fprintln(stdout, "Transition-state shares:")
 			for j := 7; j >= 2; j-- {
-				fmt.Printf("  %d active: %.1f%%\n", j, 100*st.TransitionShare(j))
+				fmt.Fprintf(stdout, "  %d active: %.1f%%\n", j, 100*st.TransitionShare(j))
 			}
 			a, b := st.DominantPair()
-			fmt.Printf("Dominant processors during transitions: CE %d and CE %d\n", a, b)
+			fmt.Fprintf(stdout, "Dominant processors during transitions: CE %d and CE %d\n", a, b)
 		}
 
 	default:
-		log.Fatalf("unknown mode %q", *mode)
+		return fmt.Errorf("unknown mode %q", *mode)
 	}
+	return nil
 }

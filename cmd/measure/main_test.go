@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRandomSession(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "random", "-samples", "2", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"random: 1 sessions, 2 samples", "num_8", "Cw ="} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunParallelSessionsMatchSequential(t *testing.T) {
+	render := func(workers string) string {
+		var out strings.Builder
+		err := run([]string{"-mode", "random", "-samples", "1", "-seed", "7",
+			"-sessions", "3", "-workers", workers}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	seq, par := render("1"), render("8")
+	if seq != par {
+		t.Errorf("-workers changed the output:\nseq:\n%s\npar:\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "random: 3 sessions") {
+		t.Errorf("session count missing:\n%s", seq)
+	}
+}
+
+func TestRunTransitionMode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "transition", "-samples", "1", "-seed", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "transition: 1 sessions") {
+		t.Errorf("header missing:\n%s", got)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "bogus"}, &out); err == nil {
+		t.Error("unknown mode should error")
+	}
+	if err := run([]string{"-sessions", "0"}, &out); err == nil {
+		t.Error("zero sessions should error")
+	}
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

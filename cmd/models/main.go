@@ -1,51 +1,55 @@
 // Command models runs the measurement campaign and prints the section
 // 5.2 model-building internals: the median points on each concurrency
 // grid and the fitted second-order models, for all three system
-// measures.
+// measures.  The campaign's sessions fan out over the session engine's
+// worker pool.
 //
 // Usage:
 //
-//	models [-scale quick|paper]
+//	models [-scale quick|paper] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/sas"
 )
 
-func main() {
-	scale := flag.String("scale", "quick", "campaign scale: quick or paper")
-	flag.Parse()
+func main() { cli.Main(run) }
 
-	var cfg core.StudyConfig
-	switch *scale {
-	case "quick":
-		cfg = core.QuickScale()
-	case "paper":
-		cfg = core.PaperScale()
-	default:
-		log.Fatalf("unknown scale %q", *scale)
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("models", flag.ContinueOnError)
+	scale := fs.String("scale", "quick", "campaign scale: quick or paper")
+	workers := fs.Int("workers", 0, "parallel session workers (0 = one per CPU)")
+	if err := cli.Parse(fs, args); err != nil {
+		return err
 	}
-	st := core.RunStudy(cfg)
+
+	cfg, err := core.ScaleConfig(*scale)
+	if err != nil {
+		return err
+	}
+	st := core.CachedStudy(cfg, *workers)
 
 	dump := func(axis string, models [core.NumSystemMeasures]core.Model) {
 		for _, m := range models {
-			fmt.Printf("%s vs %s:\n", m.Measure, axis)
+			fmt.Fprintf(stdout, "%s vs %s:\n", m.Measure, axis)
 			if m.Err != nil {
-				fmt.Printf("  fit failed: %v\n\n", m.Err)
+				fmt.Fprintf(stdout, "  fit failed: %v\n\n", m.Err)
 				continue
 			}
 			for _, p := range m.Points {
-				fmt.Printf("  %s=%-5.2f median=%-12.5g n=%d\n", axis, p.X, p.Y, p.N)
+				fmt.Fprintf(stdout, "  %s=%-5.2f median=%-12.5g n=%d\n", axis, p.X, p.Y, p.N)
 			}
-			fmt.Printf("  model: y = %s*x + %s*x^2 + %s   R2=%.3f\n\n",
+			fmt.Fprintf(stdout, "  model: y = %s*x + %s*x^2 + %s   R2=%.3f\n\n",
 				sas.Sci(m.Fit.B1), sas.Sci(m.Fit.B2), sas.Sci(m.Fit.C), m.Fit.R2)
 		}
 	}
 	dump("Cw", st.Models.VsCw)
 	dump("Pc", st.Models.VsPc)
+	return nil
 }

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunQuickModels(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scale", "quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Median Miss Rate vs Cw", "Median CE Bus Busy vs Pc", "model: y ="} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scale", "bogus"}, &out); err == nil {
+		t.Error("unknown scale should error")
+	}
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

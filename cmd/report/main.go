@@ -1,49 +1,54 @@
 // Command report runs the full measurement campaign and writes the
 // complete reproduction report — every table and figure in paper
 // order plus the paper-vs-measured headline — to stdout or a file.
+// The campaign's sessions fan out over the session engine's worker
+// pool.
 //
 // Usage:
 //
-//	report [-scale quick|paper] [-o FILE]
+//	report [-scale quick|paper] [-workers N] [-o FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
-func main() {
-	scale := flag.String("scale", "paper", "campaign scale: quick or paper")
-	out := flag.String("o", "", "output file (default stdout)")
-	flag.Parse()
+func main() { cli.Main(run) }
 
-	var cfg core.StudyConfig
-	switch *scale {
-	case "quick":
-		cfg = core.QuickScale()
-	case "paper":
-		cfg = core.PaperScale()
-	default:
-		log.Fatalf("unknown scale %q", *scale)
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	scale := fs.String("scale", "paper", "campaign scale: quick or paper")
+	workers := fs.Int("workers", 0, "parallel session workers (0 = one per CPU)")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
+
+	cfg, err := core.ScaleConfig(*scale)
+	if err != nil {
+		return err
 	}
 
 	start := time.Now()
-	st := core.RunStudy(cfg)
+	st := core.CachedStudy(cfg, *workers)
 	report := fmt.Sprintf("Reproduction report (scale=%s, %v)\n\n%s",
 		*scale, time.Since(start).Round(time.Millisecond), experiments.FullReport(st))
 
 	if *out == "" {
-		fmt.Print(report)
-		return
+		fmt.Fprint(stdout, report)
+		return nil
 	}
 	if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("report written to %s\n", *out)
+	fmt.Fprintf(stdout, "report written to %s\n", *out)
+	return nil
 }

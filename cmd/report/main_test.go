@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesReportFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.txt")
+	var out strings.Builder
+	if err := run([]string{"-scale", "quick", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "report written to") {
+		t.Errorf("confirmation missing:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Reproduction report (scale=quick", "TABLE 1", "HEADLINE RESULTS"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("report file missing %q", want)
+		}
+	}
+}
+
+func TestRunReportToStdout(t *testing.T) {
+	// Memoization: reuses the campaign from TestRunWritesReportFile.
+	var out strings.Builder
+	if err := run([]string{"-scale", "quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "HEADLINE RESULTS") {
+		t.Error("stdout report incomplete")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scale", "bogus"}, &out); err == nil {
+		t.Error("unknown scale should error")
+	}
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

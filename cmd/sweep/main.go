@@ -1,43 +1,52 @@
 // Command sweep runs the measurement pipeline across configuration
 // parameters — the study's proposed extensions: scheduling quantum
 // (software-level parameter), shared cache size, and CE count
-// (FX/1-FX/8 configurations).
+// (FX/1-FX/8 configurations).  Sweep points are independent machines
+// and fan out over the session engine's worker pool.
 //
 // Usage:
 //
-//	sweep [-kind sched|cache|ce] [-seed N] [-samples N]
+//	sweep [-kind sched|cache|ce] [-seed N] [-samples N] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
-func main() {
-	kind := flag.String("kind", "sched", "sweep kind: sched, cache or ce")
-	seed := flag.Uint64("seed", 1987, "workload seed")
-	samples := flag.Int("samples", 12, "samples per configuration")
-	flag.Parse()
+func main() { cli.Main(run) }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	kind := fs.String("kind", "sched", "sweep kind: sched, cache or ce")
+	seed := fs.Uint64("seed", 1987, "workload seed")
+	samples := fs.Int("samples", 12, "samples per configuration")
+	workers := fs.Int("workers", 0, "parallel sweep-point workers (0 = one per CPU)")
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 
 	switch *kind {
 	case "sched":
-		pts := experiments.SchedulerSweep(
-			[]int{10_000, 30_000, 100_000, 300_000, 1_000_000}, *seed, *samples)
-		fmt.Println(experiments.SweepTable(
+		pts := experiments.SchedulerSweepWorkers(
+			[]int{10_000, 30_000, 100_000, 300_000, 1_000_000}, *seed, *samples, *workers)
+		fmt.Fprintln(stdout, experiments.SweepTable(
 			"Concurrency measures vs. scheduling quantum.", pts))
 	case "cache":
-		pts := experiments.CacheSweep(
-			[]int{32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10}, *seed, *samples)
-		fmt.Println(experiments.SweepTable(
+		pts := experiments.CacheSweepWorkers(
+			[]int{32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10}, *seed, *samples, *workers)
+		fmt.Fprintln(stdout, experiments.SweepTable(
 			"System measures vs. shared cache size.", pts))
 	case "ce":
-		pts := experiments.CESweep([]int{1, 2, 4, 8}, *seed, *samples)
-		fmt.Println(experiments.SweepTable(
+		pts := experiments.CESweepWorkers([]int{1, 2, 4, 8}, *seed, *samples, *workers)
+		fmt.Fprintln(stdout, experiments.SweepTable(
 			"Workload measures vs. CE count (FX/1..FX/8).", pts))
 	default:
-		log.Fatalf("unknown sweep kind %q", *kind)
+		return fmt.Errorf("unknown sweep kind %q", *kind)
 	}
+	return nil
 }

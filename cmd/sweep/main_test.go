@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCESweep(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kind", "ce", "-samples", "1", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"CE count", "CEs=1", "CEs=8"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunWorkerCountInvariant(t *testing.T) {
+	render := func(workers string) string {
+		var out strings.Builder
+		if err := run([]string{"-kind", "ce", "-samples", "1", "-workers", workers}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if seq, par := render("1"), render("4"); seq != par {
+		t.Errorf("-workers changed sweep output:\nseq:\n%s\npar:\n%s", seq, par)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kind", "bogus"}, &out); err == nil {
+		t.Error("unknown kind should error")
+	}
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

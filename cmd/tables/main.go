@@ -1,46 +1,51 @@
 // Command tables runs the measurement campaign and regenerates the
 // study's Tables 1, 2, 3, 4 and A.1, plus the paper-vs-measured
-// headline summary.
+// headline summary.  The campaign's sessions fan out over the session
+// engine's worker pool, and the completed campaign is memoized by
+// configuration.
 //
 // Usage:
 //
-//	tables [-scale quick|paper]
+//	tables [-scale quick|paper] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
-func main() {
-	scale := flag.String("scale", "quick", "campaign scale: quick or paper")
-	flag.Parse()
+func main() { cli.Main(run) }
 
-	var cfg core.StudyConfig
-	switch *scale {
-	case "quick":
-		cfg = core.QuickScale()
-	case "paper":
-		cfg = core.PaperScale()
-	default:
-		log.Fatalf("unknown scale %q", *scale)
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	scale := fs.String("scale", "quick", "campaign scale: quick or paper")
+	workers := fs.Int("workers", 0, "parallel session workers (0 = one per CPU)")
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
+
+	cfg, err := core.ScaleConfig(*scale)
+	if err != nil {
+		return err
 	}
 
 	start := time.Now()
-	st := core.RunStudy(cfg)
-	fmt.Printf("campaign complete in %v: %d random, %d all-8, %d transition sessions\n\n",
+	st := core.CachedStudy(cfg, *workers)
+	fmt.Fprintf(stdout, "campaign complete in %v: %d random, %d all-8, %d transition sessions\n\n",
 		time.Since(start).Round(time.Millisecond),
 		len(st.Random), len(st.HighConc), len(st.Transition))
 
-	fmt.Println(experiments.Table1(st.Overall))
-	fmt.Println(experiments.Table2(st))
-	fmt.Println(experiments.Table3(st))
-	fmt.Println(experiments.Table4(st))
-	fmt.Println(experiments.TableA1(st))
-	fmt.Println(experiments.Headline(st))
+	fmt.Fprintln(stdout, experiments.Table1(st.Overall))
+	fmt.Fprintln(stdout, experiments.Table2(st))
+	fmt.Fprintln(stdout, experiments.Table3(st))
+	fmt.Fprintln(stdout, experiments.Table4(st))
+	fmt.Fprintln(stdout, experiments.TableA1(st))
+	fmt.Fprintln(stdout, experiments.Headline(st))
+	return nil
 }

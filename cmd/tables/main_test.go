@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunQuickTables(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scale", "quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"campaign complete", "TABLE 1", "TABLE 4", "Table A.1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scale", "bogus"}, &out); err == nil {
+		t.Error("unknown scale should error")
+	}
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

@@ -8,6 +8,17 @@
 // (internal/core), and SAS-style analysis rendering (internal/sas,
 // internal/experiments).
 //
+// Campaigns and sweeps execute on the shared session-execution engine
+// (internal/engine): independent sessions — each booting its own
+// machine, OS and workload from a derived seed — fan out over a
+// bounded worker pool and are reduced in session order, so results
+// are identical for every worker count.  core.RunStudyWorkers and the
+// experiments Sweep*Workers variants expose the knob; the cmd tools
+// surface it as -workers (default: one worker per CPU).  Completed
+// campaigns are memoized by StudyConfig via core.CachedStudy, so
+// figures, tables and reports regenerated from the same configuration
+// share one campaign.
+//
 // The root package holds the benchmark harness: one benchmark per
 // table and figure of the paper's evaluation, plus ablation benchmarks
 // for the design choices documented in DESIGN.md.

@@ -1,0 +1,29 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"testing"
+)
+
+func TestParseTagsErrors(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.Int("n", 0, "")
+
+	if err := Parse(fs, []string{"-n", "3"}); err != nil {
+		t.Fatalf("good args: %v", err)
+	}
+
+	err := Parse(fs, []string{"-bogus"})
+	var pe ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("bad flag should return ParseError, got %T", err)
+	}
+
+	err = Parse(fs, []string{"-h"})
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h should unwrap to flag.ErrHelp, got %v", err)
+	}
+}

@@ -1,6 +1,11 @@
 package core
 
-import "repro/internal/monitor"
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/monitor"
+)
 
 // StudyConfig sizes the full reproduction of the study's measurement
 // campaign: nine random-sampling sessions, ten all-8-triggered
@@ -57,6 +62,18 @@ func QuickScale() StudyConfig {
 	}
 }
 
+// ScaleConfig maps a campaign scale name ("quick" or "paper") to its
+// configuration — the cmd tools' -scale flag.
+func ScaleConfig(name string) (StudyConfig, error) {
+	switch name {
+	case "quick":
+		return QuickScale(), nil
+	case "paper":
+		return PaperScale(), nil
+	}
+	return StudyConfig{}, fmt.Errorf("unknown scale %q", name)
+}
+
 // Study is the complete result of the measurement campaign: the inputs
 // to every table and figure in the paper.
 type Study struct {
@@ -95,51 +112,85 @@ type Study struct {
 	Models ModelSet
 }
 
-// RunStudy executes the full campaign and computes every derived
-// result.
-func RunStudy(cfg StudyConfig) *Study {
-	st := &Study{Config: cfg}
+// randomSpec returns the spec of random-sampling session i (derived
+// seed: a different measurement day).
+func (cfg StudyConfig) randomSpec(i int) SessionSpec {
+	return SessionSpec{
+		Samples:  cfg.SamplesPerSession,
+		Sampling: cfg.Sampling,
+		Seed:     cfg.BaseSeed + uint64(i),
+	}
+}
 
-	for i := 0; i < cfg.RandomSessions; i++ {
-		spec := SessionSpec{
-			Samples:  cfg.SamplesPerSession,
-			Sampling: cfg.Sampling,
-			Seed:     cfg.BaseSeed + uint64(i),
+// triggeredSpec returns the spec of triggered session i in mode-
+// specific seed space (+100 for all-8, +200 for transition sessions).
+func (cfg StudyConfig) triggeredSpec(mode monitor.TriggerMode, i int) TriggeredSpec {
+	off := uint64(100)
+	if mode == monitor.TriggerTransition {
+		off = 200
+	}
+	return TriggeredSpec{
+		Mode:           mode,
+		Samples:        cfg.TriggeredSamples,
+		Buffers:        cfg.TriggeredBuffers,
+		BudgetCycles:   cfg.TriggerBudget,
+		Seed:           cfg.BaseSeed + off + uint64(i),
+		WorkloadCycles: uint64(cfg.TriggeredSamples*cfg.TriggeredBuffers*cfg.TriggerBudget) / 4,
+	}
+}
+
+// RunStudy executes the full campaign and computes every derived
+// result, fanning sessions over one worker per available CPU.
+func RunStudy(cfg StudyConfig) *Study {
+	return RunStudyWorkers(cfg, 0)
+}
+
+// RunStudyWorkers executes the full campaign on a bounded worker pool.
+// Every session is an independent unit — its own machine, OS and
+// workload built from a derived seed — so the three session groups fan
+// out over one shared pool and are reduced in session order, making
+// the result identical for every worker count (workers <= 0 selects
+// one worker per CPU).
+func RunStudyWorkers(cfg StudyConfig, workers int) *Study {
+	st := &Study{Config: cfg}
+	nR, nH, nT := cfg.RandomSessions, cfg.HighConcSessions, cfg.TransitionSessions
+
+	// One pool covers all three groups, so stragglers in one group
+	// overlap work from the next.
+	type result struct {
+		random    *Session
+		triggered *TriggeredSession
+	}
+	results := engine.Map(workers, nR+nH+nT, func(u int) result {
+		switch {
+		case u < nR:
+			return result{random: RunRandomSession(u+1, cfg.randomSpec(u))}
+		case u < nR+nH:
+			i := u - nR
+			return result{triggered: RunTriggeredSession(i+1, cfg.triggeredSpec(monitor.TriggerAll8, i))}
+		default:
+			i := u - nR - nH
+			return result{triggered: RunTriggeredSession(i+1, cfg.triggeredSpec(monitor.TriggerTransition, i))}
 		}
-		ses := RunRandomSession(i+1, spec)
-		st.Random = append(st.Random, ses)
-		st.Overall.Add(ses.Total)
-		st.RandomSamples = append(st.RandomSamples, ses.Measures...)
+	})
+
+	// Deterministic reduction in session order.
+	for _, r := range results[:nR] {
+		st.Random = append(st.Random, r.random)
+		st.Overall.Add(r.random.Total)
+		st.RandomSamples = append(st.RandomSamples, r.random.Measures...)
 	}
 	st.OverallMeasures = MeasuresFromCounts(st.Overall)
 
-	for i := 0; i < cfg.HighConcSessions; i++ {
-		spec := TriggeredSpec{
-			Mode:           monitor.TriggerAll8,
-			Samples:        cfg.TriggeredSamples,
-			Buffers:        cfg.TriggeredBuffers,
-			BudgetCycles:   cfg.TriggerBudget,
-			Seed:           cfg.BaseSeed + 100 + uint64(i),
-			WorkloadCycles: uint64(cfg.TriggeredSamples*cfg.TriggeredBuffers*cfg.TriggerBudget) / 4,
-		}
-		ts := RunTriggeredSession(i+1, spec)
-		st.HighConc = append(st.HighConc, ts)
+	for _, r := range results[nR : nR+nH] {
+		st.HighConc = append(st.HighConc, r.triggered)
 	}
 
-	for i := 0; i < cfg.TransitionSessions; i++ {
-		spec := TriggeredSpec{
-			Mode:           monitor.TriggerTransition,
-			Samples:        cfg.TriggeredSamples,
-			Buffers:        cfg.TriggeredBuffers,
-			BudgetCycles:   cfg.TriggerBudget,
-			Seed:           cfg.BaseSeed + 200 + uint64(i),
-			WorkloadCycles: uint64(cfg.TriggeredSamples*cfg.TriggeredBuffers*cfg.TriggerBudget) / 4,
-		}
-		ts := RunTriggeredSession(i+1, spec)
-		st.Transition = append(st.Transition, ts)
-		for _, buf := range ts.Buffers {
-			for _, r := range buf {
-				st.Transitions.AddRecord(r)
+	for _, r := range results[nR+nH:] {
+		st.Transition = append(st.Transition, r.triggered)
+		for _, buf := range r.triggered.Buffers {
+			for _, rec := range buf {
+				st.Transitions.AddRecord(rec)
 			}
 		}
 	}
@@ -150,4 +201,18 @@ func RunStudy(cfg StudyConfig) *Study {
 	}
 	st.Models = FitModels(st.AllSamples)
 	return st
+}
+
+// studyMemo caches completed campaigns by configuration, so figures,
+// tables and reports regenerated from the same StudyConfig share one
+// campaign instead of re-running it.
+var studyMemo engine.Memo[StudyConfig, *Study]
+
+// CachedStudy returns the memoized campaign for cfg, running it on
+// first use with the given worker count.  The returned Study is shared
+// across callers and must be treated as read-only.  Because RunStudy's
+// output is identical for every worker count, the cache key is the
+// configuration alone.
+func CachedStudy(cfg StudyConfig, workers int) *Study {
+	return studyMemo.Get(cfg, func() *Study { return RunStudyWorkers(cfg, workers) })
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/monitor"
@@ -195,6 +197,137 @@ func TestRunTriggeredSessionTransition(t *testing.T) {
 		if buf[0].ActiveCount() >= 8 {
 			t.Errorf("buffer %d first record has %d active", i, buf[0].ActiveCount())
 		}
+	}
+}
+
+// detScale is a reduced campaign for the worker-count determinism
+// tests: every session group populated, small enough to run twice.
+func detScale() StudyConfig {
+	return StudyConfig{
+		RandomSessions:     3,
+		HighConcSessions:   2,
+		TransitionSessions: 2,
+		SamplesPerSession:  6,
+		Sampling:           monitor.SampleSpec{Snapshots: 3, GapCycles: 5_000},
+		TriggeredSamples:   3,
+		TriggeredBuffers:   3,
+		TriggerBudget:      200_000,
+		BaseSeed:           1987,
+	}
+}
+
+// TestRunStudyWorkerCountInvariant is the engine's determinism
+// regression test: the same StudyConfig and seed must produce exactly
+// the same Study whether sessions run on one worker or eight.
+func TestRunStudyWorkerCountInvariant(t *testing.T) {
+	cfg := detScale()
+	seq := RunStudyWorkers(cfg, 1)
+	par := RunStudyWorkers(cfg, 8)
+
+	// Field-by-field over everything downstream artefacts consume.
+	if seq.Overall != par.Overall {
+		t.Errorf("Overall diverges:\n seq %+v\n par %+v", seq.Overall, par.Overall)
+	}
+	if seq.OverallMeasures != par.OverallMeasures {
+		t.Errorf("OverallMeasures diverges:\n seq %+v\n par %+v",
+			seq.OverallMeasures, par.OverallMeasures)
+	}
+	if len(seq.Random) != len(par.Random) {
+		t.Fatalf("Random sessions: %d vs %d", len(seq.Random), len(par.Random))
+	}
+	for i := range seq.Random {
+		a, b := seq.Random[i], par.Random[i]
+		if a.ID != b.ID || a.Total != b.Total || a.TotalFaults != b.TotalFaults {
+			t.Errorf("random session %d diverges: %+v vs %+v", i, a.Total, b.Total)
+		}
+		if !reflect.DeepEqual(a.Samples, b.Samples) || !reflect.DeepEqual(a.Measures, b.Measures) {
+			t.Errorf("random session %d samples/measures diverge", i)
+		}
+	}
+	for name, pair := range map[string][2][]*TriggeredSession{
+		"HighConc":   {seq.HighConc, par.HighConc},
+		"Transition": {seq.Transition, par.Transition},
+	} {
+		a, b := pair[0], pair[1]
+		if len(a) != len(b) {
+			t.Fatalf("%s sessions: %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || a[i].Mode != b[i].Mode ||
+				a[i].Total != b[i].Total || a[i].Timeouts != b[i].Timeouts {
+				t.Errorf("%s session %d header diverges", name, i)
+			}
+			if !reflect.DeepEqual(a[i].Buffers, b[i].Buffers) {
+				t.Errorf("%s session %d buffers diverge", name, i)
+			}
+			if !reflect.DeepEqual(a[i].Measures, b[i].Measures) {
+				t.Errorf("%s session %d measures diverge", name, i)
+			}
+		}
+	}
+	if !reflect.DeepEqual(seq.RandomSamples, par.RandomSamples) {
+		t.Error("RandomSamples diverge")
+	}
+	if !reflect.DeepEqual(seq.AllSamples, par.AllSamples) {
+		t.Error("AllSamples diverge")
+	}
+	if !reflect.DeepEqual(seq.Transitions, par.Transitions) {
+		t.Errorf("Transitions diverge:\n seq %+v\n par %+v", seq.Transitions, par.Transitions)
+	}
+	if !reflect.DeepEqual(seq.Models, par.Models) {
+		t.Error("Models diverge")
+	}
+	// Belt and braces: nothing else hiding in the struct.
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("Study structs diverge outside the checked fields")
+	}
+}
+
+// TestCachedStudySharesOneCampaign verifies campaign memoization:
+// repeated requests for the same configuration — including concurrent
+// ones — share a single Study.
+func TestCachedStudySharesOneCampaign(t *testing.T) {
+	cfg := detScale()
+	cfg.BaseSeed = 4242 // private key: don't collide with other tests' cache entries
+
+	first := CachedStudy(cfg, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := CachedStudy(cfg, 0); got != first {
+				t.Error("CachedStudy re-ran the campaign for an identical config")
+			}
+		}()
+	}
+	wg.Wait()
+
+	other := cfg
+	other.BaseSeed = 4243
+	if CachedStudy(other, 0) == first {
+		t.Error("different configs must not share a campaign")
+	}
+}
+
+// BenchmarkRunStudy measures the campaign at quick scale, sequential
+// versus one worker per CPU — the engine's headline speedup number.
+// On a multi-core machine the workers=max case should be at least 2x
+// the workers=1 case.
+func BenchmarkRunStudy(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=max", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := QuickScale()
+			for i := 0; i < b.N; i++ {
+				RunStudyWorkers(cfg, bc.workers)
+			}
+		})
 	}
 }
 

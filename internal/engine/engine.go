@@ -1,0 +1,117 @@
+// Package engine is the shared session-execution engine: it fans
+// independent units of work — simulator sessions, sweep points — out
+// over a bounded worker pool and reassembles results in index order,
+// so parallel output is identical to sequential output for every
+// worker count.
+//
+// The measurement campaign is embarrassingly parallel: each session
+// boots its own fx8.Cluster and concentrix.System from a derived seed
+// and shares no state with any other session.  The engine exploits
+// exactly that shape; it makes no attempt to parallelize within a
+// session, where cycle-by-cycle ordering is the whole point.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default degree of parallelism: one worker
+// per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// clamp resolves a requested worker count against the number of units:
+// zero or negative means DefaultWorkers, and there is never a reason
+// to start more workers than units.
+func clamp(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// Map runs fn(0) ... fn(n-1) on a pool of at most workers goroutines
+// and returns the results indexed by unit: out[i] = fn(i) regardless
+// of scheduling.  workers <= 0 selects DefaultWorkers.  fn must be
+// safe to call from multiple goroutines on distinct indices; a panic
+// in any unit is re-raised on the caller after the pool drains.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	workers = clamp(workers, n)
+	if workers == 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[any]
+	)
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || panicked.Load() != nil {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, &r)
+						}
+					}()
+					out[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(*p)
+	}
+	return out
+}
+
+// Memo is a deterministic result cache keyed by a comparable
+// configuration.  Concurrent Gets for the same key share one
+// computation (the rest block until it finishes); Gets for different
+// keys compute independently.  The zero value is ready to use.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	v    V
+}
+
+// Get returns the cached value for key, computing it with compute on
+// first use.  compute runs outside the cache lock, so a slow
+// computation for one key never blocks lookups for another.
+func (c *Memo[K, V]) Get(key K, compute func() V) V {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*memoEntry[V])
+	}
+	e := c.m[key]
+	if e == nil {
+		e = &memoEntry[V]{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.v = compute() })
+	return e.v
+}

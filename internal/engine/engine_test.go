@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapResultsInIndexOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		got := Map(workers, 50, func(i int) int {
+			// Finish out of submission order to stress reassembly.
+			time.Sleep(time.Duration((i*7)%5) * time.Millisecond)
+			return i * i
+		})
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: len = %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(4, 0, func(int) int { return 1 }); got != nil {
+		t.Errorf("n=0 should return nil, got %v", got)
+	}
+	if got := Map(4, -3, func(int) int { return 1 }); got != nil {
+		t.Errorf("n<0 should return nil, got %v", got)
+	}
+}
+
+func TestMapEachIndexExactlyOnce(t *testing.T) {
+	const n = 200
+	var calls [n]atomic.Int32
+	Map(8, n, func(i int) struct{} {
+		calls[i].Add(1)
+		return struct{}{}
+	})
+	for i := range calls {
+		if c := calls[i].Load(); c != 1 {
+			t.Errorf("index %d called %d times", i, c)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	Map(workers, 40, func(i int) int {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return i
+	})
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak in-flight = %d, want <= %d", p, workers)
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "unit 3 failed" {
+			t.Errorf("recovered %v, want unit 3's panic", r)
+		}
+	}()
+	Map(4, 8, func(i int) int {
+		if i == 3 {
+			panic("unit 3 failed")
+		}
+		return i
+	})
+	t.Error("Map returned instead of panicking")
+}
+
+func TestClamp(t *testing.T) {
+	if got := clamp(0, 100); got != DefaultWorkers() {
+		t.Errorf("clamp(0, 100) = %d, want DefaultWorkers %d", got, DefaultWorkers())
+	}
+	if got := clamp(-1, 100); got != DefaultWorkers() {
+		t.Errorf("clamp(-1, 100) = %d", got)
+	}
+	if got := clamp(16, 4); got != 4 {
+		t.Errorf("clamp(16, 4) = %d, want 4", got)
+	}
+}
+
+func TestMemoComputesOncePerKey(t *testing.T) {
+	var m Memo[int, int]
+	var computes atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 4; k++ {
+				if got := m.Get(k, func() int {
+					computes.Add(1)
+					time.Sleep(time.Millisecond)
+					return k * 10
+				}); got != k*10 {
+					t.Errorf("Get(%d) = %d", k, got)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c := computes.Load(); c != 4 {
+		t.Errorf("computed %d times, want once per key (4)", c)
+	}
+}
+
+func TestMemoKeysIndependent(t *testing.T) {
+	var m Memo[string, string]
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		m.Get("slow", func() string { <-release; return "s" })
+		close(done)
+	}()
+	// A different key must not block behind the slow computation.
+	got := make(chan string, 1)
+	go func() { got <- m.Get("fast", func() string { return "f" }) }()
+	select {
+	case v := <-got:
+		if v != "f" {
+			t.Errorf("fast key = %q", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("fast key blocked behind slow key")
+	}
+	close(release)
+	<-done
+}

@@ -2,28 +2,21 @@ package experiments
 
 import (
 	"strings"
-	"sync"
 	"testing"
 
 	"repro/internal/core"
 )
 
-var (
-	studyOnce sync.Once
-	study     *core.Study
-)
-
-// testStudy runs one shared quick-scale campaign for all tests in the
-// package.
+// testStudy returns the shared quick-scale campaign for all tests in
+// the package.  core.CachedStudy runs it once even when parallel tests
+// ask for it concurrently.
 func testStudy(t *testing.T) *core.Study {
 	t.Helper()
-	studyOnce.Do(func() {
-		study = core.RunStudy(core.QuickScale())
-	})
-	return study
+	return core.CachedStudy(core.QuickScale(), 0)
 }
 
 func TestTable1Rendering(t *testing.T) {
+	t.Parallel()
 	st := testStudy(t)
 	out := Table1(st.Overall)
 	for _, want := range []string{"num_0", "num_8", "prof_7", "ceop_READ.MISS", "membop_IP.READ"} {
@@ -34,6 +27,7 @@ func TestTable1Rendering(t *testing.T) {
 }
 
 func TestTable2Rendering(t *testing.T) {
+	t.Parallel()
 	st := testStudy(t)
 	out := Table2(st)
 	for _, want := range []string{"c_0", "c_8", "Cw", "Pc"} {
@@ -44,6 +38,7 @@ func TestTable2Rendering(t *testing.T) {
 }
 
 func TestTable3And4Rendering(t *testing.T) {
+	t.Parallel()
 	st := testStudy(t)
 	for name, out := range map[string]string{"3": Table3(st), "4": Table4(st)} {
 		for _, want := range []string{"Median Miss Rate", "Median CE Bus Busy", "Median Page Fault Rate", "R2"} {
@@ -58,6 +53,7 @@ func TestTable3And4Rendering(t *testing.T) {
 }
 
 func TestTableA1Rendering(t *testing.T) {
+	t.Parallel()
 	st := testStudy(t)
 	out := TableA1(st)
 	if !strings.Contains(out, "Session") || !strings.Contains(out, "Mean Cw") {
@@ -70,6 +66,7 @@ func TestTableA1Rendering(t *testing.T) {
 }
 
 func TestFigure3ShowsDominantStates(t *testing.T) {
+	t.Parallel()
 	st := testStudy(t)
 	out := Figure3(st)
 	if !strings.Contains(out, "Figure 3") {
@@ -83,6 +80,7 @@ func TestFigure3ShowsDominantStates(t *testing.T) {
 }
 
 func TestFigure4And5(t *testing.T) {
+	t.Parallel()
 	st := testStudy(t)
 	if !strings.Contains(Figure4(st), "Cw") {
 		t.Error("Figure 4 missing label")
@@ -93,6 +91,7 @@ func TestFigure4And5(t *testing.T) {
 }
 
 func TestFigure6TwoActiveDominates(t *testing.T) {
+	t.Parallel()
 	st := testStudy(t)
 	out := Figure6(st)
 	if !strings.Contains(out, "Figure 6") {
@@ -107,6 +106,7 @@ func TestFigure6TwoActiveDominates(t *testing.T) {
 }
 
 func TestFigure7DominantPair(t *testing.T) {
+	t.Parallel()
 	st := testStudy(t)
 	out := Figure7(st)
 	if !strings.Contains(out, "CE 0") || !strings.Contains(out, "CE 7") {
@@ -120,6 +120,7 @@ func TestFigure7DominantPair(t *testing.T) {
 }
 
 func TestScatterFigures(t *testing.T) {
+	t.Parallel()
 	st := testStudy(t)
 	for name, out := range map[string]string{
 		"8": Figure8(st), "9": Figure9(st),
@@ -136,6 +137,7 @@ func TestScatterFigures(t *testing.T) {
 }
 
 func TestBandFigures(t *testing.T) {
+	t.Parallel()
 	st := testStudy(t)
 	for name, out := range map[string]string{
 		"10": Figure10(st), "11": Figure11(st),
@@ -152,6 +154,7 @@ func TestBandFigures(t *testing.T) {
 }
 
 func TestMissRateMedianRisesAcrossCwBands(t *testing.T) {
+	t.Parallel()
 	// The core claim of Figure 10: the median miss rate of the top
 	// Cw band exceeds the bottom band's.
 	st := testStudy(t)
@@ -187,6 +190,7 @@ func medianOf(v []float64) float64 {
 }
 
 func TestModelFigures(t *testing.T) {
+	t.Parallel()
 	st := testStudy(t)
 	for name, out := range map[string]string{
 		"12": Figure12(st), "13": Figure13(st), "14": Figure14(st),
@@ -202,6 +206,7 @@ func TestModelFigures(t *testing.T) {
 }
 
 func TestAppendixAFigures(t *testing.T) {
+	t.Parallel()
 	st := testStudy(t)
 	if !strings.Contains(FigureA1A2(st), "Session") {
 		t.Error("A.1/A.2 missing session titles")
@@ -218,6 +223,7 @@ func TestAppendixAFigures(t *testing.T) {
 }
 
 func TestHeadline(t *testing.T) {
+	t.Parallel()
 	st := testStudy(t)
 	out := Headline(st)
 	for _, want := range []string{"Workload Concurrency", "Mean Concurrency Level",
@@ -229,6 +235,7 @@ func TestHeadline(t *testing.T) {
 }
 
 func TestFullReportContainsEverything(t *testing.T) {
+	t.Parallel()
 	st := testStudy(t)
 	out := FullReport(st)
 	wants := []string{

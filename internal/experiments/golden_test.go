@@ -14,6 +14,7 @@ import (
 //
 // The campaign takes ~20 s; skipped under -short.
 func TestPaperScaleHeadline(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("paper-scale campaign in -short mode")
 	}

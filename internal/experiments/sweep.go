@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/concentrix"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fx8"
 	"repro/internal/monitor"
 	"repro/internal/sas"
@@ -53,36 +54,52 @@ func sweepSession(cfg fx8.Config, sysCfg concentrix.SysConfig, seed uint64, samp
 	}
 }
 
-// SchedulerSweep measures the workload at several scheduling quanta.
+// SchedulerSweep measures the workload at several scheduling quanta,
+// one worker per CPU.
 func SchedulerSweep(quanta []int, seed uint64, samples int) []SweepPoint {
-	pts := make([]SweepPoint, 0, len(quanta))
-	for _, q := range quanta {
+	return SchedulerSweepWorkers(quanta, seed, samples, 0)
+}
+
+// SchedulerSweepWorkers is SchedulerSweep on a bounded worker pool;
+// every sweep point is an independent machine, so points fan out over
+// the engine and come back in quanta order regardless of worker count.
+func SchedulerSweepWorkers(quanta []int, seed uint64, samples, workers int) []SweepPoint {
+	return engine.Map(workers, len(quanta), func(i int) SweepPoint {
 		sysCfg := concentrix.DefaultSysConfig()
-		sysCfg.TimeSlice = q
+		sysCfg.TimeSlice = quanta[i]
 		pt := sweepSession(fx8.DefaultConfig(), sysCfg, seed, samples)
-		pt.Label = fmt.Sprintf("quantum=%d", q)
-		pts = append(pts, pt)
-	}
-	return pts
+		pt.Label = fmt.Sprintf("quantum=%d", quanta[i])
+		return pt
+	})
 }
 
-// CacheSweep measures the workload at several shared cache sizes.
+// CacheSweep measures the workload at several shared cache sizes, one
+// worker per CPU.
 func CacheSweep(sizes []int, seed uint64, samples int) []SweepPoint {
-	pts := make([]SweepPoint, 0, len(sizes))
-	for _, s := range sizes {
-		cfg := fx8.DefaultConfig()
-		cfg.SharedCacheBytes = s
-		pt := sweepSession(cfg, concentrix.DefaultSysConfig(), seed, samples)
-		pt.Label = fmt.Sprintf("cache=%dKB", s>>10)
-		pts = append(pts, pt)
-	}
-	return pts
+	return CacheSweepWorkers(sizes, seed, samples, 0)
 }
 
-// CESweep measures the workload on FX/1-FX/8-style configurations.
+// CacheSweepWorkers is CacheSweep on a bounded worker pool.
+func CacheSweepWorkers(sizes []int, seed uint64, samples, workers int) []SweepPoint {
+	return engine.Map(workers, len(sizes), func(i int) SweepPoint {
+		cfg := fx8.DefaultConfig()
+		cfg.SharedCacheBytes = sizes[i]
+		pt := sweepSession(cfg, concentrix.DefaultSysConfig(), seed, samples)
+		pt.Label = fmt.Sprintf("cache=%dKB", sizes[i]>>10)
+		return pt
+	})
+}
+
+// CESweep measures the workload on FX/1-FX/8-style configurations, one
+// worker per CPU.
 func CESweep(counts []int, seed uint64, samples int) []SweepPoint {
-	pts := make([]SweepPoint, 0, len(counts))
-	for _, n := range counts {
+	return CESweepWorkers(counts, seed, samples, 0)
+}
+
+// CESweepWorkers is CESweep on a bounded worker pool.
+func CESweepWorkers(counts []int, seed uint64, samples, workers int) []SweepPoint {
+	return engine.Map(workers, len(counts), func(i int) SweepPoint {
+		n := counts[i]
 		cfg := fx8.DefaultConfig()
 		cfg.NumCE = n
 		if cfg.ArbBias != nil {
@@ -93,9 +110,8 @@ func CESweep(counts []int, seed uint64, samples int) []SweepPoint {
 		}
 		pt := sweepSession(cfg, concentrix.DefaultSysConfig(), seed, samples)
 		pt.Label = fmt.Sprintf("CEs=%d", n)
-		pts = append(pts, pt)
-	}
-	return pts
+		return pt
+	})
 }
 
 // SweepTable renders sweep points.

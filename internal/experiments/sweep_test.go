@@ -6,6 +6,7 @@ import (
 )
 
 func TestSchedulerSweep(t *testing.T) {
+	t.Parallel()
 	pts := SchedulerSweep([]int{20_000, 200_000}, 5, 4)
 	if len(pts) != 2 {
 		t.Fatalf("points = %d", len(pts))
@@ -21,6 +22,7 @@ func TestSchedulerSweep(t *testing.T) {
 }
 
 func TestCESweepPcBounded(t *testing.T) {
+	t.Parallel()
 	pts := CESweep([]int{2, 4}, 5, 4)
 	if len(pts) != 2 {
 		t.Fatalf("points = %d", len(pts))
@@ -35,6 +37,7 @@ func TestCESweepPcBounded(t *testing.T) {
 }
 
 func TestCacheSweepMissrateDecreases(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("cache sweep in -short mode")
 	}
@@ -46,6 +49,7 @@ func TestCacheSweepMissrateDecreases(t *testing.T) {
 }
 
 func TestSweepTableRendering(t *testing.T) {
+	t.Parallel()
 	out := SweepTable("T", []SweepPoint{
 		{Label: "a", Cw: 0.5, Pc: 7, BusBusy: 0.2, MissRate: 0.01, Faults: 3},
 		{Label: "b"},

@@ -29,6 +29,7 @@ func buildSystem(seed uint64, span uint64) *concentrix.System {
 }
 
 func TestFullStackDeterminism(t *testing.T) {
+	t.Parallel()
 	run := func() []trace.Record {
 		sys := buildSystem(33, 400_000)
 		recs := make([]trace.Record, 0, 50_000)
@@ -47,6 +48,7 @@ func TestFullStackDeterminism(t *testing.T) {
 }
 
 func TestSeedsProduceDifferentWorkloads(t *testing.T) {
+	t.Parallel()
 	a := buildSystem(1, 400_000)
 	b := buildSystem(2, 400_000)
 	var diff int
@@ -63,6 +65,7 @@ func TestSeedsProduceDifferentWorkloads(t *testing.T) {
 }
 
 func TestMonitorIsNonIntrusive(t *testing.T) {
+	t.Parallel()
 	// A monitored machine and an unmonitored one executing the same
 	// workload must follow identical trajectories: observation does
 	// not perturb execution.
@@ -84,6 +87,7 @@ func TestMonitorIsNonIntrusive(t *testing.T) {
 }
 
 func TestSessionPersistenceRoundTrip(t *testing.T) {
+	t.Parallel()
 	spec := core.SessionSpec{
 		Samples:  4,
 		Sampling: monitor.SampleSpec{Snapshots: 3, GapCycles: 4_000},
@@ -112,6 +116,7 @@ func TestSessionPersistenceRoundTrip(t *testing.T) {
 }
 
 func TestSampleMeasuresWithinBounds(t *testing.T) {
+	t.Parallel()
 	// Property over a real session: every sample's measures are in
 	// their legal ranges.
 	spec := core.SessionSpec{
@@ -140,6 +145,7 @@ func TestSampleMeasuresWithinBounds(t *testing.T) {
 }
 
 func TestTriggeredBuffersStartBelowEight(t *testing.T) {
+	t.Parallel()
 	spec := core.TriggeredSpec{
 		Mode:           monitor.TriggerTransition,
 		Samples:        4,
@@ -160,6 +166,7 @@ func TestTriggeredBuffersStartBelowEight(t *testing.T) {
 }
 
 func TestAll8BuffersStartAtEight(t *testing.T) {
+	t.Parallel()
 	spec := core.TriggeredSpec{
 		Mode:           monitor.TriggerAll8,
 		Samples:        4,
@@ -180,6 +187,7 @@ func TestAll8BuffersStartAtEight(t *testing.T) {
 }
 
 func TestKernelUnderProductionLoad(t *testing.T) {
+	t.Parallel()
 	// A named kernel submitted amid a production session still
 	// completes, and its iterations all run.
 	sys := buildSystem(99, 600_000)
@@ -207,6 +215,7 @@ func TestKernelUnderProductionLoad(t *testing.T) {
 // not change the overall concurrency measures materially: the measures
 // are properties of the workload, not the instrument.
 func TestScalingInvariant(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("scaling sweep in -short mode")
 	}
