@@ -1,11 +1,18 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build fmt vet test race bench ci
 
 all: build
 
 build:
 	$(GO) build ./...
+
+# fmt fails if any file is not gofmt-clean, printing the offenders.
+fmt:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -19,7 +26,11 @@ test:
 race:
 	$(GO) test -race -short ./...
 
+# bench runs the campaign benchmark (workers=1 vs workers=max) and
+# records the run as test2json events in BENCH_study.json, so CI and
+# successive sessions can diff engine throughput mechanically.
 bench:
-	$(GO) test -bench=BenchmarkRunStudy -benchtime=1x -run=^$$ ./internal/core/
+	$(GO) test -json -bench=BenchmarkRunStudy -benchtime=1x -run=^$$ ./internal/core/ > BENCH_study.json
+	@grep -o '"Output":".*Benchmark[^"]*"' BENCH_study.json | head -20 || true
 
-ci: vet build test race
+ci: fmt vet build test race

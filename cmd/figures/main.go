@@ -1,12 +1,13 @@
 // Command figures runs the measurement campaign and regenerates the
 // study's figures (3-14 and the appendix series) as SAS-style text
 // charts.  The campaign's sessions fan out over the session engine's
-// worker pool, and the completed campaign is memoized by configuration
-// so repeated artefact generation shares one run.
+// worker pool, and the completed campaign is served through the
+// two-tier cache: memoized in-process and, with -cache, persisted to
+// the on-disk campaign store shared with the other tools and fx8d.
 //
 // Usage:
 //
-//	figures [-scale quick|paper] [-only NAME] [-workers N]
+//	figures [-scale quick|paper] [-only NAME] [-workers N] [-cache DIR]
 //
 // -only selects a single figure by name (e.g. "6", "12", "B.3").
 package main
@@ -15,43 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
 )
-
-var figureFns = []struct {
-	Name string
-	Fn   func(*core.Study) string
-}{
-	{"3", experiments.Figure3},
-	{"4", experiments.Figure4},
-	{"5", experiments.Figure5},
-	{"6", experiments.Figure6},
-	{"7", experiments.Figure7},
-	{"8", experiments.Figure8},
-	{"9", experiments.Figure9},
-	{"10", experiments.Figure10},
-	{"11", experiments.Figure11},
-	{"12", experiments.Figure12},
-	{"13", experiments.Figure13},
-	{"14", experiments.Figure14},
-	{"A.1", experiments.FigureA1A2},
-	{"A.3", experiments.FigureA3},
-	{"A.4", experiments.FigureA4},
-	{"A.5", experiments.FigureA5},
-	{"B.1", experiments.FigureB1},
-	{"B.2", experiments.FigureB2},
-	{"B.3", experiments.FigureB3},
-	{"B.4", experiments.FigureB4},
-	{"B.5", experiments.FigureB5},
-	{"B.6", experiments.FigureB6},
-	{"B.7", experiments.FigureB7},
-	{"B.8", experiments.FigureB8},
-	{"B.9", experiments.FigureB9},
-	{"B.10", experiments.FigureB10},
-}
 
 func main() { cli.Main(run) }
 
@@ -60,6 +30,7 @@ func run(args []string, stdout io.Writer) error {
 	scale := fs.String("scale", "quick", "campaign scale: quick or paper")
 	only := fs.String("only", "", "render a single figure by name")
 	workers := fs.Int("workers", 0, "parallel session workers (0 = one per CPU)")
+	cacheDir := fs.String("cache", "", "campaign store directory (shared with the other tools and fx8d)")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
@@ -68,19 +39,22 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	st := core.CachedStudy(cfg, *workers)
+	st, err := core.StudyAt(*cacheDir, cfg, *workers)
+	if err != nil {
+		return err
+	}
 
 	if *only != "" {
-		for _, f := range figureFns {
-			if f.Name == *only {
-				fmt.Fprintln(stdout, f.Fn(st))
-				return nil
-			}
+		text, ok := experiments.RenderFigure(*only, st)
+		if !ok {
+			return fmt.Errorf("unknown figure %q (valid figures: %s)",
+				*only, strings.Join(experiments.Names(experiments.Figures()), ", "))
 		}
-		return fmt.Errorf("unknown figure %q", *only)
+		fmt.Fprintln(stdout, text)
+		return nil
 	}
-	for _, f := range figureFns {
-		fmt.Fprintln(stdout, f.Fn(st))
+	for _, f := range experiments.Figures() {
+		fmt.Fprintln(stdout, f.Render(st))
 	}
 	return nil
 }

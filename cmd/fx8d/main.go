@@ -1,0 +1,103 @@
+// Command fx8d is the measurement daemon: it serves the study's
+// campaign artefacts — studies, tables, figures, sweeps — over HTTP,
+// backed by the two-tier campaign cache.  Campaigns run on the
+// session-execution engine's worker pool; identical concurrent
+// requests share one run, and with -cache the completed campaign is
+// persisted so later processes (daemon or CLI) restore it from disk.
+//
+// Usage:
+//
+//	fx8d [-addr HOST:PORT] [-cache DIR] [-workers N] [-max-inflight N]
+//	     [-cache-max-bytes N]
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight requests.  See internal/service for the endpoint list.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+func main() {
+	cli.Main(func(args []string, stdout io.Writer) error {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return run(ctx, args, stdout)
+	})
+}
+
+// drainTimeout bounds graceful shutdown: in-flight requests get this
+// long to finish once the stop signal arrives.
+const drainTimeout = 10 * time.Second
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fx8d", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8087", "listen address")
+	cacheDir := fs.String("cache", "", "campaign store directory (persists campaigns across restarts; shared with the CLI tools)")
+	cacheMax := fs.Int64("cache-max-bytes", 0, "evict oldest store entries beyond this total size (0 = unbounded)")
+	workers := fs.Int("workers", 0, "parallel session workers per campaign (0 = one per CPU)")
+	inflight := fs.Int("max-inflight", 4, "concurrently admitted expensive requests")
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
+	if *inflight < 1 {
+		return fmt.Errorf("-max-inflight must be >= 1, got %d", *inflight)
+	}
+
+	cache := core.NewStudyCache()
+	if *cacheDir != "" {
+		s, err := store.Open(*cacheDir, store.WithMaxBytes(*cacheMax))
+		if err != nil {
+			return err
+		}
+		cache.SetStore(s)
+		fmt.Fprintf(stdout, "campaign store: %s\n", s.Dir())
+	}
+
+	srv := service.New(service.Config{
+		Cache:       cache,
+		Workers:     *workers,
+		MaxInFlight: *inflight,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	fmt.Fprintf(stdout, "fx8d listening on %s\n", ln.Addr())
+
+	// Graceful shutdown: when the signal context fires, stop
+	// accepting, drain in-flight requests, then let Serve return.
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		shutdownErr <- hs.Shutdown(drainCtx)
+	}()
+
+	if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-shutdownErr; err != nil {
+		return fmt.Errorf("draining: %w", err)
+	}
+	fmt.Fprintln(stdout, "fx8d stopped")
+	return nil
+}

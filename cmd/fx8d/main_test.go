@@ -1,0 +1,102 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuilder is a strings.Builder safe for the daemon goroutine and
+// the test to share.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestDaemonServesAndShutsDownGracefully boots the daemon on an
+// ephemeral port, probes /v1/healthz, and cancels the run context —
+// the daemon must drain and exit cleanly.
+func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuilder
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-cache", t.TempDir()}, &out)
+	}()
+
+	// The daemon prints its resolved address before serving.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; output: %q", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "fx8d listening on "); ok {
+				addr = rest
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/v1/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status string `json:"status"`
+		Store  bool   `json:"store_attached"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || !h.Store {
+		t.Errorf("healthz = %+v", h)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Errorf("daemon exit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down after cancel")
+	}
+	if !strings.Contains(out.String(), "fx8d stopped") {
+		t.Errorf("missing shutdown confirmation in %q", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out syncBuilder
+	ctx := context.Background()
+	if err := run(ctx, []string{"-max-inflight", "0"}, &out); err == nil {
+		t.Error("zero max-inflight should error")
+	}
+	if err := run(ctx, []string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown flag should error")
+	}
+	if err := run(ctx, []string{"-addr", "not an address"}, &out); err == nil {
+		t.Error("unlistenable address should error")
+	}
+}

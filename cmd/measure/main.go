@@ -8,7 +8,7 @@
 // Usage:
 //
 //	measure [-mode random|all8|transition] [-seed N] [-samples N]
-//	        [-sessions N] [-workers N]
+//	        [-sessions N] [-workers N] [-cache DIR]
 package main
 
 import (
@@ -21,9 +21,41 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/monitor"
+	"repro/internal/store"
 )
 
 func main() { cli.Main(run) }
+
+// sessionsKey is the content-address configuration of a cached
+// measure invocation: results are a pure function of these fields
+// (worker count provably does not change them).
+type sessionsKey struct {
+	Mode     string
+	Seed     uint64
+	Samples  int
+	Sessions int
+}
+
+// cachedSessions returns compute() through the optional store: on a
+// hit the sessions are restored from disk, otherwise computed and
+// written back.  A nil store always computes.
+func cachedSessions[T any](s *store.Store, namespace string, key sessionsKey, compute func() T) (T, error) {
+	if s == nil {
+		return compute(), nil
+	}
+	k, err := store.Key(namespace, key)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	var cached T
+	if store.GetJSON(s, k, &cached) {
+		return cached, nil
+	}
+	out := compute()
+	store.PutJSON(s, k, out)
+	return out, nil
+}
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("measure", flag.ContinueOnError)
@@ -33,20 +65,34 @@ func run(args []string, stdout io.Writer) error {
 	sessions := fs.Int("sessions", 1, "independent sessions to run (consecutive seeds)")
 	workers := fs.Int("workers", 0, "parallel session workers (0 = one per CPU)")
 	wave := fs.Int("wave", 0, "render the first N records of the first buffer as a waveform")
+	cacheDir := fs.String("cache", "", "campaign store directory (shared with the other tools and fx8d)")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 	if *sessions < 1 {
 		return fmt.Errorf("-sessions must be >= 1, got %d", *sessions)
 	}
+	var st *store.Store
+	if *cacheDir != "" {
+		var err error
+		if st, err = store.Open(*cacheDir); err != nil {
+			return err
+		}
+	}
+	key := sessionsKey{Mode: *mode, Seed: *seed, Samples: *samples, Sessions: *sessions}
 
 	switch *mode {
 	case "random":
-		runs := engine.Map(*workers, *sessions, func(i int) *core.Session {
-			spec := core.DefaultSessionSpec(*seed + uint64(i))
-			spec.Samples = *samples
-			return core.RunRandomSession(i+1, spec)
+		runs, err := cachedSessions(st, "measure-random/v1", key, func() []*core.Session {
+			return engine.Map(*workers, *sessions, func(i int) *core.Session {
+				spec := core.DefaultSessionSpec(*seed + uint64(i))
+				spec.Samples = *samples
+				return core.RunRandomSession(i+1, spec)
+			})
 		})
+		if err != nil {
+			return err
+		}
 		var total monitor.EventCounts
 		var faults uint64
 		nsamples := 0
@@ -71,11 +117,16 @@ func run(args []string, stdout io.Writer) error {
 		if *mode == "transition" {
 			trigger = monitor.TriggerTransition
 		}
-		runs := engine.Map(*workers, *sessions, func(i int) *core.TriggeredSession {
-			spec := core.DefaultTriggeredSpec(trigger, *seed+uint64(i))
-			spec.Samples = *samples
-			return core.RunTriggeredSession(i+1, spec)
+		runs, err := cachedSessions(st, "measure-triggered/v1", key, func() []*core.TriggeredSession {
+			return engine.Map(*workers, *sessions, func(i int) *core.TriggeredSession {
+				spec := core.DefaultTriggeredSpec(trigger, *seed+uint64(i))
+				spec.Samples = *samples
+				return core.RunTriggeredSession(i+1, spec)
+			})
 		})
+		if err != nil {
+			return err
+		}
 		var total monitor.EventCounts
 		timeouts, nbufs := 0, 0
 		for _, ts := range runs {

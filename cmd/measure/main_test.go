@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -44,6 +46,33 @@ func TestRunTransitionMode(t *testing.T) {
 	}
 	if got := out.String(); !strings.Contains(got, "transition: 1 sessions") {
 		t.Errorf("header missing:\n%s", got)
+	}
+}
+
+// TestRunCacheRoundTrip proves -cache: the second invocation restores
+// the sessions from the store and prints identical output.
+func TestRunCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	render := func() string {
+		var out strings.Builder
+		err := run([]string{"-mode", "transition", "-samples", "1", "-seed", "5", "-cache", dir}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	first := render()
+	entries, err := filepath.Glob(filepath.Join(dir, "*.fx8s"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("store entries after first run = %v, %v; want one", entries, err)
+	}
+	info1, _ := os.Stat(entries[0])
+	if second := render(); second != first {
+		t.Errorf("cached run output differs:\n%s\nvs\n%s", first, second)
+	}
+	info2, _ := os.Stat(entries[0])
+	if info1.ModTime() != info2.ModTime() {
+		t.Error("second run rewrote the store entry instead of hitting it")
 	}
 }
 

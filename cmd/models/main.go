@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	models [-scale quick|paper] [-workers N]
+//	models [-scale quick|paper] [-workers N] [-cache DIR]
 package main
 
 import (
@@ -25,6 +25,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("models", flag.ContinueOnError)
 	scale := fs.String("scale", "quick", "campaign scale: quick or paper")
 	workers := fs.Int("workers", 0, "parallel session workers (0 = one per CPU)")
+	cacheDir := fs.String("cache", "", "campaign store directory (shared with the other tools and fx8d)")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
@@ -33,7 +34,10 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	st := core.CachedStudy(cfg, *workers)
+	st, err := core.StudyAt(*cacheDir, cfg, *workers)
+	if err != nil {
+		return err
+	}
 
 	dump := func(axis string, models [core.NumSystemMeasures]core.Model) {
 		for _, m := range models {

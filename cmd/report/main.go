@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	report [-scale quick|paper] [-workers N] [-o FILE]
+//	report [-scale quick|paper] [-workers N] [-cache DIR] [-o FILE]
 package main
 
 import (
@@ -27,6 +27,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	scale := fs.String("scale", "paper", "campaign scale: quick or paper")
 	workers := fs.Int("workers", 0, "parallel session workers (0 = one per CPU)")
+	cacheDir := fs.String("cache", "", "campaign store directory (shared with the other tools and fx8d)")
 	out := fs.String("o", "", "output file (default stdout)")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
@@ -38,7 +39,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	start := time.Now()
-	st := core.CachedStudy(cfg, *workers)
+	st, err := core.StudyAt(*cacheDir, cfg, *workers)
+	if err != nil {
+		return err
+	}
 	report := fmt.Sprintf("Reproduction report (scale=%s, %v)\n\n%s",
 		*scale, time.Since(start).Round(time.Millisecond), experiments.FullReport(st))
 

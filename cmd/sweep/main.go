@@ -2,11 +2,14 @@
 // parameters — the study's proposed extensions: scheduling quantum
 // (software-level parameter), shared cache size, and CE count
 // (FX/1-FX/8 configurations).  Sweep points are independent machines
-// and fan out over the session engine's worker pool.
+// and fan out over the session engine's worker pool; with -cache,
+// completed sweeps are persisted to the campaign store shared with
+// the other tools and fx8d.
 //
 // Usage:
 //
 //	sweep [-kind sched|cache|ce] [-seed N] [-samples N] [-workers N]
+//	      [-cache DIR]
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/store"
 )
 
 func main() { cli.Main(run) }
@@ -26,27 +30,28 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Uint64("seed", 1987, "workload seed")
 	samples := fs.Int("samples", 12, "samples per configuration")
 	workers := fs.Int("workers", 0, "parallel sweep-point workers (0 = one per CPU)")
+	cacheDir := fs.String("cache", "", "campaign store directory (shared with the other tools and fx8d)")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 
-	switch *kind {
-	case "sched":
-		pts := experiments.SchedulerSweepWorkers(
-			[]int{10_000, 30_000, 100_000, 300_000, 1_000_000}, *seed, *samples, *workers)
-		fmt.Fprintln(stdout, experiments.SweepTable(
-			"Concurrency measures vs. scheduling quantum.", pts))
-	case "cache":
-		pts := experiments.CacheSweepWorkers(
-			[]int{32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10}, *seed, *samples, *workers)
-		fmt.Fprintln(stdout, experiments.SweepTable(
-			"System measures vs. shared cache size.", pts))
-	case "ce":
-		pts := experiments.CESweepWorkers([]int{1, 2, 4, 8}, *seed, *samples, *workers)
-		fmt.Fprintln(stdout, experiments.SweepTable(
-			"Workload measures vs. CE count (FX/1..FX/8).", pts))
-	default:
-		return fmt.Errorf("unknown sweep kind %q", *kind)
+	cfg := experiments.SweepConfig{
+		Kind:    *kind,
+		Values:  experiments.DefaultSweepValues(*kind),
+		Seed:    *seed,
+		Samples: *samples,
 	}
+	var st *store.Store
+	if *cacheDir != "" {
+		var err error
+		if st, err = store.Open(*cacheDir); err != nil {
+			return err
+		}
+	}
+	pts, _, err := experiments.CachedSweep(st, cfg, *workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, experiments.SweepTable(experiments.SweepTitle(*kind), pts))
 	return nil
 }

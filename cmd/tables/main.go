@@ -1,12 +1,13 @@
 // Command tables runs the measurement campaign and regenerates the
 // study's Tables 1, 2, 3, 4 and A.1, plus the paper-vs-measured
 // headline summary.  The campaign's sessions fan out over the session
-// engine's worker pool, and the completed campaign is memoized by
-// configuration.
+// engine's worker pool, and the completed campaign is served through
+// the two-tier cache: memoized in-process and, with -cache, persisted
+// to the on-disk campaign store shared with the other tools and fx8d.
 //
 // Usage:
 //
-//	tables [-scale quick|paper] [-workers N]
+//	tables [-scale quick|paper] [-workers N] [-cache DIR]
 package main
 
 import (
@@ -26,6 +27,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
 	scale := fs.String("scale", "quick", "campaign scale: quick or paper")
 	workers := fs.Int("workers", 0, "parallel session workers (0 = one per CPU)")
+	cacheDir := fs.String("cache", "", "campaign store directory (shared with the other tools and fx8d)")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
@@ -36,7 +38,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	start := time.Now()
-	st := core.CachedStudy(cfg, *workers)
+	st, err := core.StudyAt(*cacheDir, cfg, *workers)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(stdout, "campaign complete in %v: %d random, %d all-8, %d transition sessions\n\n",
 		time.Since(start).Round(time.Millisecond),
 		len(st.Random), len(st.HighConc), len(st.Transition))

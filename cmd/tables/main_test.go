@@ -1,6 +1,7 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -20,10 +21,26 @@ func TestRunQuickTables(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-scale", "bogus"}, &out); err == nil {
+	err := run([]string{"-scale", "bogus"}, &out)
+	if err == nil {
 		t.Error("unknown scale should error")
+	} else if !strings.Contains(err.Error(), "quick") || !strings.Contains(err.Error(), "paper") {
+		t.Errorf("scale error %q does not enumerate valid scales", err)
 	}
 	if err := run([]string{"-no-such-flag"}, &out); err == nil {
 		t.Error("unknown flag should error")
+	}
+}
+
+// TestRunWritesCampaignStore proves -cache persists the campaign.
+func TestRunWritesCampaignStore(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-scale", "quick", "-cache", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.fx8s"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("store entries = %v, %v; want the quick campaign persisted", entries, err)
 	}
 }

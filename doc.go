@@ -14,10 +14,25 @@
 // bounded worker pool and are reduced in session order, so results
 // are identical for every worker count.  core.RunStudyWorkers and the
 // experiments Sweep*Workers variants expose the knob; the cmd tools
-// surface it as -workers (default: one worker per CPU).  Completed
-// campaigns are memoized by StudyConfig via core.CachedStudy, so
-// figures, tables and reports regenerated from the same configuration
-// share one campaign.
+// surface it as -workers (default: one worker per CPU).
+//
+// Completed campaigns flow through a two-tier cache
+// (core.StudyCache): an in-process memo (bounded, FIFO-evicted) in
+// front of an optional content-addressed on-disk store
+// (internal/store), in front of the compute path.  Store entries are
+// keyed by a stable hash of the canonically encoded StudyConfig,
+// written atomically with a versioned, checksummed header, and
+// recomputed when corrupt or format-incompatible; the cmd tools'
+// -cache DIR flag and the daemon share one store directory.
+// Concurrent requests for the same configuration singleflight down to
+// one campaign run.
+//
+// The fx8d daemon (cmd/fx8d, internal/service) serves the campaign's
+// artefacts over HTTP: the study summary, every table and figure, and
+// the parameter sweeps as addressable JSON resources, plus an SSE
+// progress stream for in-flight campaigns, per-endpoint latency and
+// cache hit-rate counters, bounded request admission, and graceful
+// shutdown.
 //
 // The root package holds the benchmark harness: one benchmark per
 // table and figure of the paper's evaluation, plus ablation benchmarks

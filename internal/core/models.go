@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 
 	"repro/internal/stats"
@@ -60,6 +62,39 @@ type Model struct {
 	Fit     stats.QuadModel
 	Points  []stats.MedianPoint
 	Err     error // non-nil when the fit failed (too few points)
+}
+
+// modelJSON is Model's stored form: the error interface does not
+// survive encoding/json, so a failed fit persists as its message.
+type modelJSON struct {
+	Measure SystemMeasure
+	VsPc    bool
+	Fit     stats.QuadModel
+	Points  []stats.MedianPoint
+	Err     string `json:",omitempty"`
+}
+
+// MarshalJSON encodes the model with its fit error flattened to a
+// string, so fitted model sets round-trip through the campaign store.
+func (m Model) MarshalJSON() ([]byte, error) {
+	j := modelJSON{Measure: m.Measure, VsPc: m.VsPc, Fit: m.Fit, Points: m.Points}
+	if m.Err != nil {
+		j.Err = m.Err.Error()
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes a stored model.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var j modelJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*m = Model{Measure: j.Measure, VsPc: j.VsPc, Fit: j.Fit, Points: j.Points}
+	if j.Err != "" {
+		m.Err = errors.New(j.Err)
+	}
+	return nil
 }
 
 // ModelSet holds the six chapter 5 regressions (three measures, two

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/engine"
 	"repro/internal/monitor"
@@ -62,8 +63,14 @@ func QuickScale() StudyConfig {
 	}
 }
 
+// ScaleNames lists the valid campaign scale names, in the order the
+// tools document them.
+func ScaleNames() []string { return []string{"quick", "paper"} }
+
 // ScaleConfig maps a campaign scale name ("quick" or "paper") to its
-// configuration — the cmd tools' -scale flag.
+// configuration — the cmd tools' -scale flag and the fx8d service's
+// scale parameter.  Every consumer reports an unknown scale through
+// this one error, so the CLI and the daemon fail identically.
 func ScaleConfig(name string) (StudyConfig, error) {
 	switch name {
 	case "quick":
@@ -71,7 +78,8 @@ func ScaleConfig(name string) (StudyConfig, error) {
 	case "paper":
 		return PaperScale(), nil
 	}
-	return StudyConfig{}, fmt.Errorf("unknown scale %q", name)
+	return StudyConfig{}, fmt.Errorf("unknown scale %q (valid scales: %s)",
+		name, strings.Join(ScaleNames(), ", "))
 }
 
 // Study is the complete result of the measurement campaign: the inputs
@@ -152,6 +160,21 @@ func RunStudy(cfg StudyConfig) *Study {
 // the result identical for every worker count (workers <= 0 selects
 // one worker per CPU).
 func RunStudyWorkers(cfg StudyConfig, workers int) *Study {
+	return RunStudyProgress(cfg, workers, nil)
+}
+
+// TotalSessions returns the number of sessions the campaign runs —
+// the denominator of progress reports.
+func (cfg StudyConfig) TotalSessions() int {
+	return cfg.RandomSessions + cfg.HighConcSessions + cfg.TransitionSessions
+}
+
+// RunStudyProgress is RunStudyWorkers with a session-completion
+// callback: progress(done, total) fires from worker goroutines as
+// sessions finish (see engine.MapProgress for its contract); nil
+// disables reporting.  The callback observes scheduling order, but
+// the returned Study is identical regardless.
+func RunStudyProgress(cfg StudyConfig, workers int, progress func(done, total int)) *Study {
 	st := &Study{Config: cfg}
 	nR, nH, nT := cfg.RandomSessions, cfg.HighConcSessions, cfg.TransitionSessions
 
@@ -161,7 +184,7 @@ func RunStudyWorkers(cfg StudyConfig, workers int) *Study {
 		random    *Session
 		triggered *TriggeredSession
 	}
-	results := engine.Map(workers, nR+nH+nT, func(u int) result {
+	results := engine.MapProgress(workers, nR+nH+nT, func(u int) result {
 		switch {
 		case u < nR:
 			return result{random: RunRandomSession(u+1, cfg.randomSpec(u))}
@@ -172,7 +195,7 @@ func RunStudyWorkers(cfg StudyConfig, workers int) *Study {
 			i := u - nR - nH
 			return result{triggered: RunTriggeredSession(i+1, cfg.triggeredSpec(monitor.TriggerTransition, i))}
 		}
-	})
+	}, progress)
 
 	// Deterministic reduction in session order.
 	for _, r := range results[:nR] {
@@ -203,16 +226,12 @@ func RunStudyWorkers(cfg StudyConfig, workers int) *Study {
 	return st
 }
 
-// studyMemo caches completed campaigns by configuration, so figures,
-// tables and reports regenerated from the same StudyConfig share one
-// campaign instead of re-running it.
-var studyMemo engine.Memo[StudyConfig, *Study]
-
-// CachedStudy returns the memoized campaign for cfg, running it on
-// first use with the given worker count.  The returned Study is shared
-// across callers and must be treated as read-only.  Because RunStudy's
-// output is identical for every worker count, the cache key is the
+// CachedStudy returns the memoized campaign for cfg from the
+// process-wide DefaultStudyCache, running it on first use with the
+// given worker count.  The returned Study is shared across callers
+// and must be treated as read-only.  Because RunStudy's output is
+// identical for every worker count, the cache key is the
 // configuration alone.
 func CachedStudy(cfg StudyConfig, workers int) *Study {
-	return studyMemo.Get(cfg, func() *Study { return RunStudyWorkers(cfg, workers) })
+	return DefaultStudyCache.Get(cfg, workers)
 }

@@ -40,6 +40,17 @@ func clamp(workers, n int) int {
 // safe to call from multiple goroutines on distinct indices; a panic
 // in any unit is re-raised on the caller after the pool drains.
 func Map[T any](workers, n int, fn func(i int) T) []T {
+	return MapProgress(workers, n, fn, nil)
+}
+
+// MapProgress is Map with a completion callback: after each unit
+// finishes, progress(done, n) is invoked with the number of completed
+// units so far.  The callback runs on worker goroutines (possibly
+// concurrently for distinct counts) and must be cheap and
+// thread-safe; nil disables reporting.  Completion order — and hence
+// the sequence of done values observed — depends on scheduling, but
+// progress(n, n) is always the final call.
+func MapProgress[T any](workers, n int, fn func(i int) T, progress func(done, total int)) []T {
 	if n <= 0 {
 		return nil
 	}
@@ -48,12 +59,16 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	if workers == 1 {
 		for i := range out {
 			out[i] = fn(i)
+			if progress != nil {
+				progress(i+1, n)
+			}
 		}
 		return out
 	}
 
 	var (
 		next     atomic.Int64
+		done     atomic.Int64
 		wg       sync.WaitGroup
 		panicked atomic.Pointer[any]
 	)
@@ -74,6 +89,9 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 					}()
 					out[i] = fn(i)
 				}()
+				if progress != nil {
+					progress(int(done.Add(1)), n)
+				}
 			}
 		}()
 	}
@@ -87,14 +105,25 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 // Memo is a deterministic result cache keyed by a comparable
 // configuration.  Concurrent Gets for the same key share one
 // computation (the rest block until it finishes); Gets for different
-// keys compute independently.  The zero value is ready to use.
+// keys compute independently.  The zero value is ready to use and
+// grows without bound; set MaxEntries before first use to cap it.
 type Memo[K comparable, V any] struct {
-	mu sync.Mutex
-	m  map[K]*memoEntry[V]
+	// MaxEntries, when positive, bounds the number of cached keys:
+	// inserting a new key beyond the cap evicts the oldest-inserted
+	// key first (FIFO).  Callers holding an evicted value keep it;
+	// eviction only forgets the cache's reference.  Zero means
+	// unbounded.  Set before first use; not safe to change
+	// concurrently with Get.
+	MaxEntries int
+
+	mu    sync.Mutex
+	m     map[K]*memoEntry[V]
+	order []K // insertion order, for FIFO eviction
 }
 
 type memoEntry[V any] struct {
 	once sync.Once
+	done atomic.Bool
 	v    V
 }
 
@@ -108,10 +137,50 @@ func (c *Memo[K, V]) Get(key K, compute func() V) V {
 	}
 	e := c.m[key]
 	if e == nil {
+		if c.MaxEntries > 0 && len(c.order) >= c.MaxEntries {
+			evict := c.order[0]
+			c.order = c.order[1:]
+			delete(c.m, evict)
+		}
 		e = &memoEntry[V]{}
 		c.m[key] = e
+		c.order = append(c.order, key)
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.v = compute() })
+	e.once.Do(func() {
+		e.v = compute()
+		e.done.Store(true)
+	})
 	return e.v
+}
+
+// Peek reports whether key has a completed cached value, returning it
+// if so.  It never triggers or waits for a computation.
+func (c *Memo[K, V]) Peek(key K) (V, bool) {
+	var zero V
+	c.mu.Lock()
+	e := c.m[key]
+	c.mu.Unlock()
+	if e == nil || !e.done.Load() {
+		return zero, false
+	}
+	return e.v, true
+}
+
+// Len returns the number of cached keys, including entries whose
+// computation is still in flight.
+func (c *Memo[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Purge drops every cached entry.  In-flight computations are
+// unaffected — their waiters still receive the computed value — but
+// subsequent Gets recompute.
+func (c *Memo[K, V]) Purge() {
+	c.mu.Lock()
+	c.m = nil
+	c.order = nil
+	c.mu.Unlock()
 }

@@ -120,6 +120,90 @@ func TestMemoComputesOncePerKey(t *testing.T) {
 	}
 }
 
+func TestMapProgressReachesTotal(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int32
+		var sawFinal atomic.Bool
+		const n = 25
+		Map := MapProgress(workers, n, func(i int) int { return i }, func(done, total int) {
+			calls.Add(1)
+			if total != n {
+				t.Errorf("workers=%d: total = %d, want %d", workers, total, n)
+			}
+			if done == total {
+				sawFinal.Store(true)
+			}
+		})
+		if len(Map) != n {
+			t.Fatalf("workers=%d: len = %d", workers, len(Map))
+		}
+		if c := calls.Load(); c != n {
+			t.Errorf("workers=%d: progress called %d times, want %d", workers, c, n)
+		}
+		if !sawFinal.Load() {
+			t.Errorf("workers=%d: progress never reported done == total", workers)
+		}
+	}
+}
+
+func TestMemoMaxEntriesEvictsOldest(t *testing.T) {
+	m := Memo[int, int]{MaxEntries: 2}
+	var computes atomic.Int32
+	get := func(k int) int {
+		return m.Get(k, func() int { computes.Add(1); return k })
+	}
+	get(1)
+	get(2)
+	get(3) // evicts 1
+	if n := m.Len(); n != 2 {
+		t.Errorf("Len = %d, want 2", n)
+	}
+	if _, ok := m.Peek(1); ok {
+		t.Error("key 1 should have been evicted")
+	}
+	if _, ok := m.Peek(3); !ok {
+		t.Error("key 3 should be cached")
+	}
+	get(1) // recomputes
+	if c := computes.Load(); c != 4 {
+		t.Errorf("computed %d times, want 4 (1, 2, 3, then 1 again)", c)
+	}
+}
+
+func TestMemoPurge(t *testing.T) {
+	var m Memo[int, int]
+	var computes atomic.Int32
+	for i := 0; i < 3; i++ {
+		m.Get(i, func() int { computes.Add(1); return i })
+	}
+	m.Purge()
+	if n := m.Len(); n != 0 {
+		t.Errorf("Len after Purge = %d", n)
+	}
+	m.Get(0, func() int { computes.Add(1); return 0 })
+	if c := computes.Load(); c != 4 {
+		t.Errorf("computed %d times, want 4 (purge forces recompute)", c)
+	}
+}
+
+func TestMemoPeekIgnoresInFlight(t *testing.T) {
+	var m Memo[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go m.Get("k", func() int { close(started); <-release; return 7 })
+	<-started
+	if _, ok := m.Peek("k"); ok {
+		t.Error("Peek returned an in-flight computation")
+	}
+	close(release)
+	if got := m.Get("k", func() int { return 0 }); got != 7 {
+		t.Errorf("Get after release = %d, want 7", got)
+	}
+	if v, ok := m.Peek("k"); !ok || v != 7 {
+		t.Errorf("Peek after completion = %d, %v", v, ok)
+	}
+}
+
 func TestMemoKeysIndependent(t *testing.T) {
 	var m Memo[string, string]
 	release := make(chan struct{})

@@ -1,0 +1,89 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// metrics accumulates per-endpoint request counters.
+type metrics struct {
+	mu  sync.Mutex
+	per map[string]*endpointMetrics
+}
+
+type endpointMetrics struct {
+	requests uint64
+	errors   uint64
+	total    time.Duration
+	max      time.Duration
+}
+
+func newMetrics() *metrics {
+	return &metrics{per: make(map[string]*endpointMetrics)}
+}
+
+func (m *metrics) record(endpoint string, d time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em := m.per[endpoint]
+	if em == nil {
+		em = &endpointMetrics{}
+		m.per[endpoint] = em
+	}
+	em.requests++
+	if failed {
+		em.errors++
+	}
+	em.total += d
+	if d > em.max {
+		em.max = d
+	}
+}
+
+// EndpointMetrics is one endpoint's row in the /v1/metrics body.
+type EndpointMetrics struct {
+	Endpoint string  `json:"endpoint"`
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	AvgMs    float64 `json:"avg_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// MetricsResponse is the /v1/metrics body: request latencies per
+// endpoint plus the hit rates of both campaign-cache tiers and the
+// underlying store.
+type MetricsResponse struct {
+	Endpoints []EndpointMetrics `json:"endpoints"`
+	Cache     core.CacheStats   `json:"cache"`
+	Store     *store.Stats      `json:"store,omitempty"`
+}
+
+func (s *Server) metricsSnapshot() MetricsResponse {
+	s.metrics.mu.Lock()
+	eps := make([]EndpointMetrics, 0, len(s.metrics.per))
+	for name, em := range s.metrics.per {
+		row := EndpointMetrics{
+			Endpoint: name,
+			Requests: em.requests,
+			Errors:   em.errors,
+			MaxMs:    float64(em.max) / float64(time.Millisecond),
+		}
+		if em.requests > 0 {
+			row.AvgMs = float64(em.total) / float64(em.requests) / float64(time.Millisecond)
+		}
+		eps = append(eps, row)
+	}
+	s.metrics.mu.Unlock()
+	sort.Slice(eps, func(i, j int) bool { return eps[i].Endpoint < eps[j].Endpoint })
+
+	resp := MetricsResponse{Endpoints: eps, Cache: s.cache.Stats()}
+	if st := s.cache.Store(); st != nil {
+		stats := st.Stats()
+		resp.Store = &stats
+	}
+	return resp
+}

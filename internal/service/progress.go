@@ -1,0 +1,140 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// progressBoard tracks session completion of in-flight campaigns, fed
+// by the campaign cache's OnProgress hook and drained by the
+// /v1/progress SSE stream.
+type progressBoard struct {
+	mu   sync.Mutex
+	jobs map[core.StudyConfig]*campaignJob
+}
+
+type campaignJob struct {
+	done, total int
+}
+
+func newProgressBoard() *progressBoard {
+	return &progressBoard{jobs: make(map[core.StudyConfig]*campaignJob)}
+}
+
+// observe implements core.StudyCache's OnProgress contract; it runs
+// on engine worker goroutines.
+func (b *progressBoard) observe(cfg core.StudyConfig, done, total int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	j := b.jobs[cfg]
+	if j == nil {
+		j = &campaignJob{}
+		b.jobs[cfg] = j
+	}
+	switch {
+	case done == 0:
+		// A fresh campaign announcing itself (the cache fires
+		// progress(0, total) before any session runs): reset the job
+		// so a recompute after purge or memo eviction tracks from
+		// zero instead of being rejected by the monotonic guard.
+		j.done = 0
+	case done > j.done:
+		j.done = done
+	}
+	j.total = total
+}
+
+// reset forgets all tracked jobs (cache purge).
+func (b *progressBoard) reset() {
+	b.mu.Lock()
+	b.jobs = make(map[core.StudyConfig]*campaignJob)
+	b.mu.Unlock()
+}
+
+// snapshot returns the tracked completion state of cfg's campaign.
+func (b *progressBoard) snapshot(cfg core.StudyConfig) (done, total int, running bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	j := b.jobs[cfg]
+	if j == nil {
+		return 0, 0, false
+	}
+	return j.done, j.total, j.done < j.total
+}
+
+// ProgressEvent is one SSE data payload of /v1/progress.
+type ProgressEvent struct {
+	Scale string `json:"scale"`
+	State string `json:"state"` // idle | running | done
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+// progressPollInterval is how often the SSE stream samples the board.
+const progressPollInterval = 50 * time.Millisecond
+
+// handleProgress streams campaign progress for one scale as
+// server-sent events: an event per state change (plus a keep-alive
+// sample per poll while running), ending after the campaign is done
+// or the client disconnects.  If no campaign is in flight the stream
+// reports the current terminal state — "done" when the study is
+// resident, "idle" otherwise — and closes.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	scale, cfg, err := scaleParam(r)
+	if err != nil {
+		s.metrics.record("progress", time.Since(start), true)
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.metrics.record("progress", time.Since(start), true)
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(ev ProgressEvent) {
+		fmt.Fprintf(w, "data: {\"scale\":%q,\"state\":%q,\"done\":%d,\"total\":%d}\n\n",
+			ev.Scale, ev.State, ev.Done, ev.Total)
+		flusher.Flush()
+	}
+
+	ticker := time.NewTicker(progressPollInterval)
+	defer ticker.Stop()
+	for {
+		done, total, running := s.progress.snapshot(cfg)
+		switch {
+		case running:
+			emit(ProgressEvent{Scale: scale, State: "running", Done: done, Total: total})
+		case total > 0 || s.cache.Cached(cfg):
+			// total > 0: this server watched the campaign finish.
+			// Cached alone: it was restored without running here.
+			if total == 0 {
+				// Restored from disk or memoized before this server
+				// tracked it; report the configured session count.
+				done, total = cfg.TotalSessions(), cfg.TotalSessions()
+			}
+			emit(ProgressEvent{Scale: scale, State: "done", Done: done, Total: total})
+			s.metrics.record("progress", time.Since(start), false)
+			return
+		default:
+			emit(ProgressEvent{Scale: scale, State: "idle", Done: 0, Total: cfg.TotalSessions()})
+			s.metrics.record("progress", time.Since(start), false)
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			s.metrics.record("progress", time.Since(start), false)
+			return
+		case <-ticker.C:
+		}
+	}
+}

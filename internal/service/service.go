@@ -1,0 +1,335 @@
+// Package service is the fx8d measurement service: it exposes the
+// study's campaign artefacts — the full study, every table and
+// figure, and the parameter sweeps — as addressable HTTP resources
+// backed by the two-tier campaign cache (memory -> disk -> compute).
+// Expensive endpoints run on top of the session-execution engine
+// behind a bounded admission semaphore; identical concurrent requests
+// singleflight down to one campaign run.  The daemon in cmd/fx8d
+// wraps this package in a listener with graceful shutdown.
+//
+// Endpoints (all JSON unless noted):
+//
+//	GET  /v1/healthz          liveness, uptime, in-flight count
+//	GET  /v1/study?scale=S    campaign summary (quick|paper)
+//	GET  /v1/tables/{name}    table 1|2|3|4|a1
+//	GET  /v1/figures/{name}   figure 3..14, A.*, B.*
+//	GET  /v1/sweep?param=P    sweep sched|cache|ce
+//	GET  /v1/progress?scale=S SSE stream of campaign progress
+//	GET  /v1/metrics          per-endpoint latency + cache hit rates
+//	POST /v1/purge            drop both cache tiers
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Cache is the campaign cache; nil creates a private memory-only
+	// cache.  Attach a store to share campaigns with the CLI tools.
+	Cache *core.StudyCache
+
+	// Workers bounds each campaign's session parallelism (0 = one
+	// worker per CPU), passed through to the engine.
+	Workers int
+
+	// MaxInFlight bounds concurrently admitted expensive requests
+	// (study, tables, figures, sweep); further requests queue until
+	// a slot frees or the client gives up.  0 means 4.
+	MaxInFlight int
+}
+
+// Server is the fx8d HTTP handler.
+type Server struct {
+	cfg      Config
+	cache    *core.StudyCache
+	mux      *http.ServeMux
+	sem      chan struct{}
+	metrics  *metrics
+	progress *progressBoard
+	start    time.Time
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.Cache == nil {
+		cfg.Cache = core.NewStudyCache()
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4
+	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    cfg.Cache,
+		mux:      http.NewServeMux(),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		metrics:  newMetrics(),
+		progress: newProgressBoard(),
+		start:    time.Now(),
+	}
+	s.cache.OnProgress = s.progress.observe
+
+	s.handle("GET /v1/healthz", "healthz", false, s.handleHealthz)
+	s.handle("GET /v1/study", "study", true, s.handleStudy)
+	s.handle("GET /v1/tables/{name}", "tables", true, s.handleTable)
+	s.handle("GET /v1/figures/{name}", "figures", true, s.handleFigure)
+	s.handle("GET /v1/sweep", "sweep", true, s.handleSweep)
+	s.handle("GET /v1/metrics", "metrics", false, s.handleMetrics)
+	s.handle("POST /v1/purge", "purge", false, s.handlePurge)
+	s.mux.HandleFunc("GET /v1/progress", s.handleProgress) // streams; self-instrumented
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// httpError carries a status code out of a handler.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) error {
+	return httpError{http.StatusNotFound, fmt.Sprintf(format, args...)}
+}
+
+// handle registers a handler with metrics and, for expensive
+// endpoints, bounded admission.
+func (s *Server) handle(pattern, endpoint string, expensive bool, h func(w http.ResponseWriter, r *http.Request) error) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if expensive {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			case <-r.Context().Done():
+				// Client gave up while queued; nothing to write.
+				s.metrics.record(endpoint, time.Since(start), true)
+				return
+			}
+		}
+		err := h(w, r)
+		s.metrics.record(endpoint, time.Since(start), err != nil)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if he, ok := err.(httpError); ok {
+				status = he.status
+			}
+			writeJSON(w, status, map[string]string{"error": err.Error()})
+		}
+	})
+}
+
+// writeJSON emits one canonical JSON document: compact encoding plus
+// a trailing newline.  Canonical bytes are part of the service's
+// contract — the same artefact is byte-identical no matter which
+// cache tier produced it.
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return err
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+	return nil
+}
+
+// scaleParam resolves the scale query parameter (default quick).
+func scaleParam(r *http.Request) (string, core.StudyConfig, error) {
+	scale := r.FormValue("scale")
+	if scale == "" {
+		scale = "quick"
+	}
+	cfg, err := core.ScaleConfig(scale)
+	if err != nil {
+		return "", core.StudyConfig{}, badRequest("%v", err)
+	}
+	return scale, cfg, nil
+}
+
+// study runs (or fetches) the campaign for a request's scale.
+func (s *Server) study(r *http.Request) (string, *core.Study, error) {
+	scale, cfg, err := scaleParam(r)
+	if err != nil {
+		return "", nil, err
+	}
+	return scale, s.cache.Get(cfg, s.cfg.Workers), nil
+}
+
+// HealthzResponse is the /v1/healthz body.
+type HealthzResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	InFlight      int     `json:"in_flight"`
+	MaxInFlight   int     `json:"max_in_flight"`
+	Store         bool    `json:"store_attached"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	return writeJSON(w, http.StatusOK, HealthzResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		InFlight:      len(s.sem),
+		MaxInFlight:   s.cfg.MaxInFlight,
+		Store:         s.cache.Store() != nil,
+	})
+}
+
+// StudyResponse is the /v1/study body: the campaign's configuration
+// and headline results.  Every field is a pure function of the
+// configuration, so responses are byte-identical across processes and
+// cache tiers.
+type StudyResponse struct {
+	Scale    string           `json:"scale"`
+	Config   core.StudyConfig `json:"config"`
+	Sessions struct {
+		Random     int `json:"random"`
+		HighConc   int `json:"high_conc"`
+		Transition int `json:"transition"`
+	} `json:"sessions"`
+	Samples  int              `json:"samples"`
+	Overall  core.Concurrency `json:"overall"`
+	Records  int              `json:"records"`
+	Headline struct {
+		MissRateAtHalf float64 `json:"missrate_at_half_cw"`
+		MissRateAtFull float64 `json:"missrate_at_full_cw"`
+		Ratio          float64 `json:"ratio"`
+	} `json:"headline"`
+}
+
+func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) error {
+	scale, st, err := s.study(r)
+	if err != nil {
+		return err
+	}
+	resp := StudyResponse{Scale: scale, Config: st.Config}
+	resp.Sessions.Random = len(st.Random)
+	resp.Sessions.HighConc = len(st.HighConc)
+	resp.Sessions.Transition = len(st.Transition)
+	resp.Samples = len(st.AllSamples)
+	resp.Overall = st.OverallMeasures
+	resp.Records = st.Overall.Records
+	atHalf, atFull, ratio := st.Models.MissRateIncrease()
+	resp.Headline.MissRateAtHalf = atHalf
+	resp.Headline.MissRateAtFull = atFull
+	resp.Headline.Ratio = ratio
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// ArtefactResponse is the body of /v1/tables/{name} and
+// /v1/figures/{name}: the artefact rendered in the same SAS-style
+// text form the CLI tools print.
+type ArtefactResponse struct {
+	Kind  string `json:"kind"`
+	Name  string `json:"name"`
+	Scale string `json:"scale"`
+	Text  string `json:"text"`
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) error {
+	scale, st, err := s.study(r)
+	if err != nil {
+		return err
+	}
+	name := r.PathValue("name")
+	text, ok := experiments.RenderTable(name, st)
+	if !ok {
+		return notFound("unknown table %q (valid tables: %v)", name, experiments.Names(experiments.Tables()))
+	}
+	return writeJSON(w, http.StatusOK, ArtefactResponse{Kind: "table", Name: name, Scale: scale, Text: text})
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) error {
+	scale, st, err := s.study(r)
+	if err != nil {
+		return err
+	}
+	name := r.PathValue("name")
+	text, ok := experiments.RenderFigure(name, st)
+	if !ok {
+		return notFound("unknown figure %q (valid figures: %v)", name, experiments.Names(experiments.Figures()))
+	}
+	return writeJSON(w, http.StatusOK, ArtefactResponse{Kind: "figure", Name: name, Scale: scale, Text: text})
+}
+
+// SweepResponse is the /v1/sweep body.
+type SweepResponse struct {
+	Param  string                   `json:"param"`
+	Title  string                   `json:"title"`
+	Cached bool                     `json:"cached"`
+	Points []experiments.SweepPoint `json:"points"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) error {
+	param := r.FormValue("param")
+	if param == "" {
+		param = "sched"
+	}
+	samples := 12
+	if v := r.FormValue("samples"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return badRequest("samples must be a positive integer, got %q", v)
+		}
+		samples = n
+	}
+	seed := uint64(1987)
+	if v := r.FormValue("seed"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return badRequest("seed must be an unsigned integer, got %q", v)
+		}
+		seed = n
+	}
+	cfg := experiments.SweepConfig{
+		Kind:    param,
+		Values:  experiments.DefaultSweepValues(param),
+		Seed:    seed,
+		Samples: samples,
+	}
+	pts, hit, err := experiments.CachedSweep(s.cache.Store(), cfg, s.cfg.Workers)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	return writeJSON(w, http.StatusOK, SweepResponse{
+		Param:  param,
+		Title:  experiments.SweepTitle(param),
+		Cached: hit,
+		Points: pts,
+	})
+}
+
+// PurgeResponse is the /v1/purge body.
+type PurgeResponse struct {
+	Purged bool `json:"purged"`
+}
+
+func (s *Server) handlePurge(w http.ResponseWriter, r *http.Request) error {
+	if err := s.cache.Purge(); err != nil {
+		return fmt.Errorf("purging store: %w", err)
+	}
+	// Purged campaigns are no longer "done"; forget their progress.
+	s.progress.reset()
+	return writeJSON(w, http.StatusOK, PurgeResponse{Purged: true})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	return writeJSON(w, http.StatusOK, s.metricsSnapshot())
+}

@@ -1,0 +1,296 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func timeFromUnix(sec int64) time.Time { return time.Unix(sec, 0) }
+
+func open(t *testing.T, opts ...Option) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := open(t)
+	key, err := Key("test/v1", struct{ A, B int }{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("campaign artefact bytes")
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get before Put reported a hit")
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want payload back", got, ok)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 write", st)
+	}
+}
+
+func TestKeyIsStableAndConfigSensitive(t *testing.T) {
+	type cfg struct{ Seed uint64 }
+	a1, _ := Key("ns", cfg{1})
+	a2, _ := Key("ns", cfg{1})
+	b, _ := Key("ns", cfg{2})
+	other, _ := Key("other", cfg{1})
+	if a1 != a2 {
+		t.Error("identical configs produced different keys")
+	}
+	if a1 == b {
+		t.Error("different configs collided")
+	}
+	if a1 == other {
+		t.Error("different namespaces collided")
+	}
+	if len(a1) != 64 || strings.ToLower(a1) != a1 {
+		t.Errorf("key %q is not lowercase hex sha256", a1)
+	}
+}
+
+// TestPartialWriteDetected simulates a crash mid-write (or later
+// truncation): the payload is shorter than the header claims, so the
+// entry must read as a miss and be removed.
+func TestPartialWriteDetected(t *testing.T) {
+	s := open(t)
+	key, _ := Key("test/v1", 1)
+	if err := s.Put(key, []byte("0123456789abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(s.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(key), raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Error("truncated entry served as a hit")
+	}
+	if _, err := os.Stat(s.path(key)); !os.IsNotExist(err) {
+		t.Error("truncated entry not removed")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Errorf("Corrupt = %d, want 1", st.Corrupt)
+	}
+	// Recompute path: a fresh Put must restore service.
+	if err := s.Put(key, []byte("recomputed")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key); !ok || string(got) != "recomputed" {
+		t.Errorf("recomputed entry = %q, %v", got, ok)
+	}
+}
+
+// TestCorruptPayloadDetected flips payload bytes without touching the
+// length, exercising the checksum.
+func TestCorruptPayloadDetected(t *testing.T) {
+	s := open(t)
+	key, _ := Key("test/v1", 2)
+	if err := s.Put(key, []byte("sensitive measurement data")); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(s.path(key))
+	raw[len(raw)-3] ^= 0xff
+	os.WriteFile(s.path(key), raw, 0o644)
+	if _, ok := s.Get(key); ok {
+		t.Error("bit-flipped entry served as a hit")
+	}
+}
+
+// TestVersionMismatchInvalidates rewrites an entry with a future
+// format version; it must read as a miss (format changes invalidate
+// cleanly) and be removed.
+func TestVersionMismatchInvalidates(t *testing.T) {
+	s := open(t)
+	key, _ := Key("test/v1", 3)
+	if err := s.Put(key, []byte("old world")); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(s.path(key))
+	bumped := bytes.Replace(raw, []byte(fmt.Sprintf("%s %d ", magic, formatVersion)),
+		[]byte(fmt.Sprintf("%s %d ", magic, formatVersion+1)), 1)
+	if bytes.Equal(bumped, raw) {
+		t.Fatal("test did not rewrite the version field")
+	}
+	os.WriteFile(s.path(key), bumped, 0o644)
+	if _, ok := s.Get(key); ok {
+		t.Error("future-version entry served as a hit")
+	}
+	if _, err := os.Stat(s.path(key)); !os.IsNotExist(err) {
+		t.Error("stale-version entry not removed")
+	}
+}
+
+func TestGarbageHeaderDetected(t *testing.T) {
+	s := open(t)
+	key, _ := Key("test/v1", 4)
+	for _, junk := range []string{"", "not a header", "fx8store one two\npayload"} {
+		os.WriteFile(s.path(key), []byte(junk), 0o644)
+		if _, ok := s.Get(key); ok {
+			t.Errorf("garbage entry %q served as a hit", junk)
+		}
+	}
+}
+
+// TestConcurrentReadersAndWriters hammers one key with concurrent
+// Gets and Puts: every successful read must observe a complete,
+// self-consistent entry (atomic rename), never a torn one.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	s := open(t)
+	key, _ := Key("test/v1", 5)
+	payload := bytes.Repeat([]byte("deterministic"), 1024)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := s.Put(key, payload); err != nil {
+					t.Errorf("concurrent Put: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				got, ok := s.Get(key)
+				if !ok {
+					t.Error("reader missed while entry existed")
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					t.Error("reader observed a torn entry")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Corrupt != 0 {
+		t.Errorf("Corrupt = %d under concurrent access", st.Corrupt)
+	}
+}
+
+func TestSizeBoundEvictsOldest(t *testing.T) {
+	s := open(t, WithMaxBytes(400))
+	payload := bytes.Repeat([]byte("x"), 100) // ~175 bytes with header
+	var keys []string
+	for i := 0; i < 5; i++ {
+		k, _ := Key("test/v1", i)
+		keys = append(keys, k)
+		if err := s.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so "oldest" is well defined on coarse
+		// filesystem clocks.
+		ts := int64(1_000_000 + i*10)
+		os.Chtimes(s.path(k), timeFromUnix(ts), timeFromUnix(ts))
+	}
+	if err := s.enforceBound(); err != nil {
+		t.Fatal(err)
+	}
+	if sz := s.Size(); sz > 400 {
+		t.Errorf("Size = %d after eviction, want <= 400", sz)
+	}
+	if _, ok := s.Get(keys[0]); ok {
+		t.Error("oldest entry survived the size bound")
+	}
+	if _, ok := s.Get(keys[4]); !ok {
+		t.Error("newest entry evicted")
+	}
+}
+
+func TestPurgeRemovesOnlyEntries(t *testing.T) {
+	s := open(t)
+	for i := 0; i < 3; i++ {
+		k, _ := Key("test/v1", i)
+		if err := s.Put(k, []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bystander := filepath.Join(s.Dir(), "README.txt")
+	os.WriteFile(bystander, []byte("not an entry"), 0o644)
+	if err := s.Purge(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Len(); n != 0 {
+		t.Errorf("Len after Purge = %d", n)
+	}
+	if _, err := os.Stat(bystander); err != nil {
+		t.Error("Purge removed a non-entry file")
+	}
+}
+
+func TestOpenRejectsUnwritableDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	dir := t.TempDir()
+	os.Chmod(dir, 0o555)
+	defer os.Chmod(dir, 0o755)
+	if _, err := Open(filepath.Join(dir, "sub", "cache")); err == nil {
+		t.Error("Open of uncreatable directory succeeded")
+	}
+}
+
+func TestJSONHelpers(t *testing.T) {
+	s := open(t)
+	type point struct{ X, Y float64 }
+	key, _ := Key("points/v1", "k")
+	var out []point
+	if GetJSON(s, key, &out) {
+		t.Error("GetJSON hit before Put")
+	}
+	in := []point{{1, 2}, {3.5, -0.25}}
+	if err := PutJSON(s, key, in); err != nil {
+		t.Fatal(err)
+	}
+	if !GetJSON(s, key, &out) {
+		t.Fatal("GetJSON missed after PutJSON")
+	}
+	if len(out) != 2 || out[1] != in[1] {
+		t.Errorf("round trip = %+v", out)
+	}
+	// Undecodable payload counts as corrupt and is removed.
+	if err := s.Put(key, []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	if GetJSON(s, key, &out) {
+		t.Error("GetJSON decoded garbage")
+	}
+	if _, err := os.Stat(s.path(key)); !os.IsNotExist(err) {
+		t.Error("undecodable entry not removed")
+	}
+	// Nil store: optional cache threading.
+	if GetJSON[int](nil, key, new(int)) {
+		t.Error("nil store hit")
+	}
+	if err := PutJSON(nil, key, 1); err != nil {
+		t.Error("nil store Put errored")
+	}
+}

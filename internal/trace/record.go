@@ -1,5 +1,10 @@
 package trace
 
+import (
+	"fmt"
+	"strconv"
+)
+
 // NumCE is the number of Computational Elements in the measured
 // cluster configuration (an FX/8).
 const NumCE = 8
@@ -92,6 +97,23 @@ func (r Record) Pack() uint64 {
 		}
 	}
 	return w
+}
+
+// MarshalJSON encodes the record as its packed signal word — the same
+// 38-signal form the analyzer pods capture — so persisted buffers cost
+// a short integer per record instead of three expanded arrays.
+func (r Record) MarshalJSON() ([]byte, error) {
+	return strconv.AppendUint(nil, r.Pack(), 10), nil
+}
+
+// UnmarshalJSON decodes a packed signal word.
+func (r *Record) UnmarshalJSON(data []byte) error {
+	w, err := strconv.ParseUint(string(data), 10, 64)
+	if err != nil {
+		return fmt.Errorf("trace: decoding packed record: %w", err)
+	}
+	*r = Unpack(w)
+	return nil
 }
 
 // Unpack decodes a signal word captured on the analyzer probe pods.

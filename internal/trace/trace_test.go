@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -156,6 +158,45 @@ func TestPackUnpackQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRecordJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 200; i++ {
+		r := randomRecord(rng)
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The packed form is a bare integer, not an object.
+		if bytes.ContainsAny(data, "{[") {
+			t.Fatalf("record encoded expanded: %s", data)
+		}
+		var got Record
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != r {
+			t.Fatalf("JSON round trip failed: %+v -> %s -> %+v", r, data, got)
+		}
+	}
+	// Buffers (the persisted form) round-trip as integer arrays.
+	buf := []Record{randomRecord(rng), randomRecord(rng)}
+	data, err := json.Marshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != buf[0] || got[1] != buf[1] {
+		t.Fatalf("buffer round trip failed: %s", data)
+	}
+	// Garbage fails loudly rather than zero-filling.
+	if err := json.Unmarshal([]byte(`"text"`), new(Record)); err == nil {
+		t.Error("non-numeric record decoded")
 	}
 }
 
