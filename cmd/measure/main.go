@@ -3,15 +3,19 @@
 // prints the reduced event counts and concurrency measures, as the
 // study's measurement control scripts did.  Multiple sessions (the
 // study's "different measurement days") fan out over the session
-// engine's worker pool.
+// engine's worker pool, or, with -backends, shard across a fleet of
+// fx8d nodes (failed or slow backends are retried and hedged; local
+// compute is the fallback).
 //
 // Usage:
 //
 //	measure [-mode random|all8|transition] [-seed N] [-samples N]
 //	        [-sessions N] [-workers N] [-cache DIR]
+//	        [-backends HOST:PORT,...]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +25,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/monitor"
+	"repro/internal/remote"
 	"repro/internal/store"
 )
 
@@ -36,24 +41,40 @@ type sessionsKey struct {
 	Sessions int
 }
 
-// cachedSessions returns compute() through the optional store: on a
-// hit the sessions are restored from disk, otherwise computed and
-// written back.  A nil store always computes.
-func cachedSessions[T any](s *store.Store, namespace string, key sessionsKey, compute func() T) (T, error) {
-	if s == nil {
-		return compute(), nil
+// runSessions fans n session units over the runner (local pool or a
+// backend fleet) and unwraps one result field per unit, in session
+// order: mkUnit builds unit i, pick selects the session from its
+// result (nil marks a defective runner result).  Like the sweep and
+// campaign paths, a defective fleet — a backend answering 200 with
+// the wrong shape — costs a local recompute, never the run.
+func runSessions[T any](workers int, runner core.StudyRunner, n int,
+	mkUnit func(i int) core.StudyUnit, pick func(core.StudyUnitResult) *T) ([]*T, error) {
+	units := make([]core.StudyUnit, n)
+	for i := range units {
+		units[i] = mkUnit(i)
 	}
-	k, err := store.Key(namespace, key)
+	run := func(r core.StudyRunner) ([]*T, error) {
+		results, err := engine.RunAll(context.Background(), workers, units, r, nil)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*T, len(results))
+		for i, res := range results {
+			p := pick(res)
+			if p == nil {
+				return nil, fmt.Errorf("runner returned no session for unit %d", i+1)
+			}
+			out[i] = p
+		}
+		return out, nil
+	}
+	if runner == nil {
+		return run(core.LocalStudyRunner())
+	}
+	out, err := run(runner)
 	if err != nil {
-		var zero T
-		return zero, err
+		return run(core.LocalStudyRunner())
 	}
-	var cached T
-	if store.GetJSON(s, k, &cached) {
-		return cached, nil
-	}
-	out := compute()
-	store.PutJSON(s, k, out)
 	return out, nil
 }
 
@@ -66,6 +87,7 @@ func run(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "parallel session workers (0 = one per CPU)")
 	wave := fs.Int("wave", 0, "render the first N records of the first buffer as a waveform")
 	cacheDir := fs.String("cache", "", "campaign store directory (shared with the other tools and fx8d)")
+	backends := fs.String("backends", "", "comma-separated fx8d backends (host:port,...) to shard sessions across")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
@@ -80,15 +102,18 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	key := sessionsKey{Mode: *mode, Seed: *seed, Samples: *samples, Sessions: *sessions}
+	runner := remote.StudyRunner(remote.ParseBackends(*backends))
 
 	switch *mode {
 	case "random":
-		runs, err := cachedSessions(st, "measure-random/v1", key, func() []*core.Session {
-			return engine.Map(*workers, *sessions, func(i int) *core.Session {
-				spec := core.DefaultSessionSpec(*seed + uint64(i))
-				spec.Samples = *samples
-				return core.RunRandomSession(i+1, spec)
-			})
+		runs, err := store.GetOrComputeJSON(st, "measure-random/v1", key, func() ([]*core.Session, error) {
+			return runSessions(*workers, runner, *sessions,
+				func(i int) core.StudyUnit {
+					spec := core.DefaultSessionSpec(*seed + uint64(i))
+					spec.Samples = *samples
+					return core.StudyUnit{ID: i + 1, Random: &spec}
+				},
+				func(res core.StudyUnitResult) *core.Session { return res.Random })
 		})
 		if err != nil {
 			return err
@@ -117,12 +142,14 @@ func run(args []string, stdout io.Writer) error {
 		if *mode == "transition" {
 			trigger = monitor.TriggerTransition
 		}
-		runs, err := cachedSessions(st, "measure-triggered/v1", key, func() []*core.TriggeredSession {
-			return engine.Map(*workers, *sessions, func(i int) *core.TriggeredSession {
-				spec := core.DefaultTriggeredSpec(trigger, *seed+uint64(i))
-				spec.Samples = *samples
-				return core.RunTriggeredSession(i+1, spec)
-			})
+		runs, err := store.GetOrComputeJSON(st, "measure-triggered/v1", key, func() ([]*core.TriggeredSession, error) {
+			return runSessions(*workers, runner, *sessions,
+				func(i int) core.StudyUnit {
+					spec := core.DefaultTriggeredSpec(trigger, *seed+uint64(i))
+					spec.Samples = *samples
+					return core.StudyUnit{ID: i + 1, Triggered: &spec}
+				},
+				func(res core.StudyUnitResult) *core.TriggeredSession { return res.Triggered })
 		})
 		if err != nil {
 			return err

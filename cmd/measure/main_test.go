@@ -76,6 +76,29 @@ func TestRunCacheRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRunBackendsFallBackToLocal proves the -backends contract at
+// the CLI surface: with no backend answering, every session falls
+// back to local compute and the output is identical to a plain local
+// run.  (Byte-identity against live backends is covered by
+// internal/integration.)
+func TestRunBackendsFallBackToLocal(t *testing.T) {
+	render := func(extra ...string) string {
+		var out strings.Builder
+		args := append([]string{"-mode", "random", "-samples", "1", "-seed", "11", "-sessions", "2"}, extra...)
+		if err := run(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	local := render()
+	// Port 1 on localhost: connections are refused immediately, so
+	// the run exercises reroute-then-fallback without a live daemon.
+	viaDead := render("-backends", "127.0.0.1:1")
+	if local != viaDead {
+		t.Errorf("-backends fallback output differs from local:\n%s\nvs\n%s", local, viaDead)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-mode", "bogus"}, &out); err == nil {

@@ -2,14 +2,16 @@
 // parameters — the study's proposed extensions: scheduling quantum
 // (software-level parameter), shared cache size, and CE count
 // (FX/1-FX/8 configurations).  Sweep points are independent machines
-// and fan out over the session engine's worker pool; with -cache,
-// completed sweeps are persisted to the campaign store shared with
-// the other tools and fx8d.
+// and fan out over the session engine's worker pool, or, with
+// -backends, shard across a fleet of fx8d nodes (failed or slow
+// backends are retried and hedged; local compute is the fallback).
+// With -cache, completed sweeps are persisted to the campaign store
+// shared with the other tools and fx8d.
 //
 // Usage:
 //
 //	sweep [-kind sched|cache|ce] [-seed N] [-samples N] [-workers N]
-//	      [-cache DIR]
+//	      [-cache DIR] [-backends HOST:PORT,...]
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/remote"
 	"repro/internal/store"
 )
 
@@ -29,8 +32,9 @@ func run(args []string, stdout io.Writer) error {
 	kind := fs.String("kind", "sched", "sweep kind: sched, cache or ce")
 	seed := fs.Uint64("seed", 1987, "workload seed")
 	samples := fs.Int("samples", 12, "samples per configuration")
-	workers := fs.Int("workers", 0, "parallel sweep-point workers (0 = one per CPU)")
+	workers := fs.Int("workers", 0, "parallel sweep-point workers (0 = one per CPU, or sized to the backend fleet)")
 	cacheDir := fs.String("cache", "", "campaign store directory (shared with the other tools and fx8d)")
+	backends := fs.String("backends", "", "comma-separated fx8d backends (host:port,...) to shard sweep points across")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
@@ -48,7 +52,8 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	pts, _, err := experiments.CachedSweep(st, cfg, *workers)
+	runner := remote.SweepRunner(remote.ParseBackends(*backends))
+	pts, _, err := experiments.CachedSweepRunner(st, cfg, *workers, runner)
 	if err != nil {
 		return err
 	}

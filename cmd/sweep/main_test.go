@@ -31,6 +31,25 @@ func TestRunWorkerCountInvariant(t *testing.T) {
 	}
 }
 
+// TestRunBackendsSmoke: -backends with no live daemon still renders
+// the sweep (units fall back to local compute).  A distinct seed
+// keeps this run out of the process-wide sweep memo the other tests
+// populate.
+func TestRunBackendsSmoke(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-kind", "ce", "-samples", "1", "-seed", "23",
+		"-backends", "127.0.0.1:1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"CEs=1", "CEs=8"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-kind", "bogus"}, &out); err == nil {

@@ -27,12 +27,24 @@
 // Concurrent requests for the same configuration singleflight down to
 // one campaign run.
 //
+// Where a unit of work executes is abstracted behind engine.Runner
+// (unit in, result out): engine.Local computes sessions and sweep
+// points in-process, and the internal/remote client shards them
+// across a fleet of fx8d backends via POST /v1/run/session and POST
+// /v1/run/sweep — rerouting failed units, hedging slow ones, and
+// falling back to local compute when no backend answers.  Results are
+// reassembled in unit order, so sharded output is byte-identical to
+// local output for every backend count; cmd/sweep, cmd/measure and
+// cmd/figures surface the fleet as -backends host:port,....  The
+// in-process memo behind the caches (engine.Memo) never evicts an
+// in-flight entry, preserving singleflight under cap pressure.
+//
 // The fx8d daemon (cmd/fx8d, internal/service) serves the campaign's
 // artefacts over HTTP: the study summary, every table and figure, and
-// the parameter sweeps as addressable JSON resources, plus an SSE
-// progress stream for in-flight campaigns, per-endpoint latency and
-// cache hit-rate counters, bounded request admission, and graceful
-// shutdown.
+// the parameter sweeps as addressable JSON resources, plus per-unit
+// execution endpoints for sharding, an SSE progress stream for
+// in-flight campaigns, per-endpoint latency and cache hit-rate
+// counters, bounded request admission, and graceful shutdown.
 //
 // The root package holds the benchmark harness: one benchmark per
 // table and figure of the paper's evaluation, plus ablation benchmarks

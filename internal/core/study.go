@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -138,12 +139,14 @@ func (cfg StudyConfig) triggeredSpec(mode monitor.TriggerMode, i int) TriggeredS
 		off = 200
 	}
 	return TriggeredSpec{
-		Mode:           mode,
-		Samples:        cfg.TriggeredSamples,
-		Buffers:        cfg.TriggeredBuffers,
-		BudgetCycles:   cfg.TriggerBudget,
-		Seed:           cfg.BaseSeed + off + uint64(i),
-		WorkloadCycles: uint64(cfg.TriggeredSamples*cfg.TriggeredBuffers*cfg.TriggerBudget) / 4,
+		Mode:         mode,
+		Samples:      cfg.TriggeredSamples,
+		Buffers:      cfg.TriggeredBuffers,
+		BudgetCycles: cfg.TriggerBudget,
+		Seed:         cfg.BaseSeed + off + uint64(i),
+		// Widen each factor before multiplying: the product of the
+		// three int fields overflows 32-bit int for large budgets.
+		WorkloadCycles: uint64(cfg.TriggeredSamples) * uint64(cfg.TriggeredBuffers) * uint64(cfg.TriggerBudget) / 4,
 	}
 }
 
@@ -175,43 +178,118 @@ func (cfg StudyConfig) TotalSessions() int {
 // disables reporting.  The callback observes scheduling order, but
 // the returned Study is identical regardless.
 func RunStudyProgress(cfg StudyConfig, workers int, progress func(done, total int)) *Study {
+	st, err := RunStudyRunner(context.Background(), cfg, workers, LocalStudyRunner(), progress)
+	if err != nil {
+		// The local runner never fails a unit: its compute function
+		// returns no error and ignores the context.
+		panic(err)
+	}
+	return st
+}
+
+// StudyUnit is one campaign session as a self-contained work unit:
+// exactly one of Random or Triggered is set.  Units are pure data —
+// they serialize to JSON for fx8d's POST /v1/run/session endpoint —
+// and the session they describe is a pure function of the unit, so a
+// unit may be executed anywhere (or more than once) with an identical
+// result.
+type StudyUnit struct {
+	// ID is the 1-based session number within its group.
+	ID int `json:"id"`
+
+	Random    *SessionSpec   `json:"random,omitempty"`
+	Triggered *TriggeredSpec `json:"triggered,omitempty"`
+}
+
+// StudyUnitResult is the completed session for a StudyUnit, mirroring
+// which spec field was set.
+type StudyUnitResult struct {
+	Random    *Session          `json:"random,omitempty"`
+	Triggered *TriggeredSession `json:"triggered,omitempty"`
+}
+
+// Units expands the campaign into its session work units in canonical
+// order: random sessions, then all-8-triggered, then
+// transition-triggered.  Reducing results in this order reproduces
+// RunStudy exactly.
+func (cfg StudyConfig) Units() []StudyUnit {
+	units := make([]StudyUnit, 0, cfg.TotalSessions())
+	for i := 0; i < cfg.RandomSessions; i++ {
+		spec := cfg.randomSpec(i)
+		units = append(units, StudyUnit{ID: i + 1, Random: &spec})
+	}
+	for i := 0; i < cfg.HighConcSessions; i++ {
+		spec := cfg.triggeredSpec(monitor.TriggerAll8, i)
+		units = append(units, StudyUnit{ID: i + 1, Triggered: &spec})
+	}
+	for i := 0; i < cfg.TransitionSessions; i++ {
+		spec := cfg.triggeredSpec(monitor.TriggerTransition, i)
+		units = append(units, StudyUnit{ID: i + 1, Triggered: &spec})
+	}
+	return units
+}
+
+// RunStudyUnit executes one session work unit in-process — the
+// compute path shared by the local runner and fx8d's serving side.
+func RunStudyUnit(u StudyUnit) (StudyUnitResult, error) {
+	switch {
+	case u.Random != nil:
+		return StudyUnitResult{Random: RunRandomSession(u.ID, *u.Random)}, nil
+	case u.Triggered != nil:
+		return StudyUnitResult{Triggered: RunTriggeredSession(u.ID, *u.Triggered)}, nil
+	}
+	return StudyUnitResult{}, fmt.Errorf("core: study unit %d has no spec", u.ID)
+}
+
+// StudyRunner executes campaign session units: the engine's local
+// pool, or the internal/remote client sharding across fx8d backends.
+type StudyRunner = engine.Runner[StudyUnit, StudyUnitResult]
+
+// LocalStudyRunner returns the in-process StudyRunner.
+func LocalStudyRunner() StudyRunner {
+	return engine.Local[StudyUnit, StudyUnitResult]{Fn: RunStudyUnit}
+}
+
+// RunStudyRunner executes the full campaign on an arbitrary
+// StudyRunner and reduces unit results in session order, so the
+// returned Study is byte-identical to local execution for every
+// worker count, backend count and unit scheduling.  progress follows
+// the engine.MapProgress contract.
+func RunStudyRunner(ctx context.Context, cfg StudyConfig, workers int, r StudyRunner, progress func(done, total int)) (*Study, error) {
 	st := &Study{Config: cfg}
-	nR, nH, nT := cfg.RandomSessions, cfg.HighConcSessions, cfg.TransitionSessions
+	nR, nH := cfg.RandomSessions, cfg.HighConcSessions
 
 	// One pool covers all three groups, so stragglers in one group
 	// overlap work from the next.
-	type result struct {
-		random    *Session
-		triggered *TriggeredSession
+	results, err := engine.RunAll(ctx, workers, cfg.Units(), r, progress)
+	if err != nil {
+		return nil, err
 	}
-	results := engine.MapProgress(workers, nR+nH+nT, func(u int) result {
-		switch {
-		case u < nR:
-			return result{random: RunRandomSession(u+1, cfg.randomSpec(u))}
-		case u < nR+nH:
-			i := u - nR
-			return result{triggered: RunTriggeredSession(i+1, cfg.triggeredSpec(monitor.TriggerAll8, i))}
-		default:
-			i := u - nR - nH
-			return result{triggered: RunTriggeredSession(i+1, cfg.triggeredSpec(monitor.TriggerTransition, i))}
+	for i, res := range results {
+		want := "triggered"
+		if i < nR {
+			want = "random"
 		}
-	}, progress)
+		if (i < nR && res.Random == nil) || (i >= nR && res.Triggered == nil) {
+			return nil, fmt.Errorf("core: runner returned no %s session for unit %d", want, i+1)
+		}
+	}
 
 	// Deterministic reduction in session order.
-	for _, r := range results[:nR] {
-		st.Random = append(st.Random, r.random)
-		st.Overall.Add(r.random.Total)
-		st.RandomSamples = append(st.RandomSamples, r.random.Measures...)
+	for _, res := range results[:nR] {
+		st.Random = append(st.Random, res.Random)
+		st.Overall.Add(res.Random.Total)
+		st.RandomSamples = append(st.RandomSamples, res.Random.Measures...)
 	}
 	st.OverallMeasures = MeasuresFromCounts(st.Overall)
 
-	for _, r := range results[nR : nR+nH] {
-		st.HighConc = append(st.HighConc, r.triggered)
+	for _, res := range results[nR : nR+nH] {
+		st.HighConc = append(st.HighConc, res.Triggered)
 	}
 
-	for _, r := range results[nR+nH:] {
-		st.Transition = append(st.Transition, r.triggered)
-		for _, buf := range r.triggered.Buffers {
+	for _, res := range results[nR+nH:] {
+		st.Transition = append(st.Transition, res.Triggered)
+		for _, buf := range res.Triggered.Buffers {
 			for _, rec := range buf {
 				st.Transitions.AddRecord(rec)
 			}
@@ -223,7 +301,7 @@ func RunStudyProgress(cfg StudyConfig, workers int, progress func(done, total in
 		st.AllSamples = append(st.AllSamples, ts.Measures...)
 	}
 	st.Models = FitModels(st.AllSamples)
-	return st
+	return st, nil
 }
 
 // CachedStudy returns the memoized campaign for cfg from the

@@ -331,6 +331,73 @@ func BenchmarkRunStudy(b *testing.B) {
 	}
 }
 
+// TestTriggeredSpecWorkloadCyclesNoOverflow pins the widened
+// arithmetic in triggeredSpec: the three int factors are multiplied
+// in uint64, so budgets whose int product would overflow a 32-bit int
+// still size the workload correctly on every platform.
+func TestTriggeredSpecWorkloadCyclesNoOverflow(t *testing.T) {
+	cfg := StudyConfig{
+		TriggeredSamples: 1_000,
+		TriggeredBuffers: 100,
+		TriggerBudget:    400_000, // product 4e10 >> MaxInt32
+		BaseSeed:         1,
+	}
+	spec := cfg.triggeredSpec(monitor.TriggerAll8, 0)
+	want := uint64(1_000) * 100 * 400_000 / 4
+	if spec.WorkloadCycles != want {
+		t.Errorf("WorkloadCycles = %d, want %d", spec.WorkloadCycles, want)
+	}
+	// The paper-scale boundary: samples*buffers*budget = 3.2e7 fits
+	// either way; pin it so a regression to int arithmetic cannot
+	// silently change paper-scale seeds or spans.
+	paper := PaperScale()
+	pspec := paper.triggeredSpec(monitor.TriggerTransition, 2)
+	pwant := uint64(paper.TriggeredSamples) * uint64(paper.TriggeredBuffers) * uint64(paper.TriggerBudget) / 4
+	if pspec.WorkloadCycles != pwant {
+		t.Errorf("paper WorkloadCycles = %d, want %d", pspec.WorkloadCycles, pwant)
+	}
+	if pspec.Seed != paper.BaseSeed+200+2 {
+		t.Errorf("paper transition seed = %d", pspec.Seed)
+	}
+}
+
+// TestStudyUnitsCanonicalOrder pins the unit expansion RunStudyRunner
+// reduces over: random, then all-8, then transition, with per-group
+// 1-based IDs and the derived seeds of the direct path.
+func TestStudyUnitsCanonicalOrder(t *testing.T) {
+	cfg := QuickScale()
+	units := cfg.Units()
+	if len(units) != cfg.TotalSessions() {
+		t.Fatalf("len(units) = %d, want %d", len(units), cfg.TotalSessions())
+	}
+	for i, u := range units {
+		switch {
+		case i < cfg.RandomSessions:
+			if u.Random == nil || u.ID != i+1 || u.Random.Seed != cfg.BaseSeed+uint64(i) {
+				t.Errorf("unit %d = %+v, want random session %d", i, u, i+1)
+			}
+		case i < cfg.RandomSessions+cfg.HighConcSessions:
+			j := i - cfg.RandomSessions
+			if u.Triggered == nil || u.Triggered.Mode != monitor.TriggerAll8 || u.ID != j+1 {
+				t.Errorf("unit %d = %+v, want all-8 session %d", i, u, j+1)
+			}
+		default:
+			j := i - cfg.RandomSessions - cfg.HighConcSessions
+			if u.Triggered == nil || u.Triggered.Mode != monitor.TriggerTransition || u.ID != j+1 {
+				t.Errorf("unit %d = %+v, want transition session %d", i, u, j+1)
+			}
+		}
+	}
+}
+
+// TestRunStudyUnitRejectsEmptyUnit: a unit with no spec is a protocol
+// error, not a panic.
+func TestRunStudyUnitRejectsEmptyUnit(t *testing.T) {
+	if _, err := RunStudyUnit(StudyUnit{ID: 3}); err == nil {
+		t.Error("want an error for a spec-less unit")
+	}
+}
+
 func TestMedianGridConstants(t *testing.T) {
 	// The grids must produce 11 Cw midpoints and 7 Pc midpoints as in
 	// section 5.2.

@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -48,8 +49,12 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 // units so far.  The callback runs on worker goroutines (possibly
 // concurrently for distinct counts) and must be cheap and
 // thread-safe; nil disables reporting.  Completion order — and hence
-// the sequence of done values observed — depends on scheduling, but
-// progress(n, n) is always the final call.
+// the sequence of done values observed — depends on scheduling.  When
+// every unit returns normally, progress(n, n) is always the final
+// call; if a unit panics, the panic is re-raised after the pool
+// drains, the panicking unit is not counted, and progress never
+// reports n — callers observing a panic must not expect a final
+// full-count call.
 func MapProgress[T any](workers, n int, fn func(i int) T, progress func(done, total int)) []T {
 	if n <= 0 {
 		return nil
@@ -81,15 +86,19 @@ func MapProgress[T any](workers, n int, fn func(i int) T, progress func(done, to
 				if i >= n || panicked.Load() != nil {
 					return
 				}
-				func() {
+				completed := func() (completed bool) {
 					defer func() {
 						if r := recover(); r != nil {
 							panicked.CompareAndSwap(nil, &r)
 						}
 					}()
 					out[i] = fn(i)
+					return true
 				}()
-				if progress != nil {
+				// A panicked unit is not counted, so done can never
+				// reach n once a unit has failed — the documented
+				// "no final progress(n, n) after a panic" contract.
+				if completed && progress != nil {
 					progress(int(done.Add(1)), n)
 				}
 			}
@@ -110,9 +119,15 @@ func MapProgress[T any](workers, n int, fn func(i int) T, progress func(done, to
 type Memo[K comparable, V any] struct {
 	// MaxEntries, when positive, bounds the number of cached keys:
 	// inserting a new key beyond the cap evicts the oldest-inserted
-	// key first (FIFO).  Callers holding an evicted value keep it;
-	// eviction only forgets the cache's reference.  Zero means
-	// unbounded.  Set before first use; not safe to change
+	// key whose computation has completed (FIFO over completed
+	// entries).  In-flight entries are never evicted — evicting one
+	// would let a concurrent Get for the same key launch a duplicate
+	// computation, breaking the singleflight guarantee — so the memo
+	// may transiently exceed the cap while more than MaxEntries
+	// computations are in flight; it shrinks back as they complete
+	// and later insertions evict.  Callers holding an evicted value
+	// keep it; eviction only forgets the cache's reference.  Zero
+	// means unbounded.  Set before first use; not safe to change
 	// concurrently with Get.
 	MaxEntries int
 
@@ -137,10 +152,26 @@ func (c *Memo[K, V]) Get(key K, compute func() V) V {
 	}
 	e := c.m[key]
 	if e == nil {
-		if c.MaxEntries > 0 && len(c.order) >= c.MaxEntries {
-			evict := c.order[0]
-			c.order = c.order[1:]
-			delete(c.m, evict)
+		// Evict oldest completed entries until the insertion fits the
+		// cap.  An in-flight entry must survive: a concurrent Get for
+		// its key has to find it and join the computation rather than
+		// start a second one.  If only in-flight entries remain, the
+		// insertion goes over cap; the loop (not a single eviction)
+		// is what shrinks an over-cap memo back to MaxEntries once
+		// those computations complete and new keys arrive.
+		for c.MaxEntries > 0 && len(c.order) >= c.MaxEntries {
+			victim := -1
+			for i, k := range c.order {
+				if old := c.m[k]; old == nil || old.done.Load() {
+					victim = i
+					break
+				}
+			}
+			if victim < 0 {
+				break
+			}
+			delete(c.m, c.order[victim])
+			c.order = append(c.order[:victim], c.order[victim+1:]...)
 		}
 		e = &memoEntry[V]{}
 		c.m[key] = e
@@ -183,4 +214,72 @@ func (c *Memo[K, V]) Purge() {
 	c.m = nil
 	c.order = nil
 	c.mu.Unlock()
+}
+
+// Runner executes one independent work unit — a simulator session, a
+// sweep point — and returns its result: unit in, result out.  The
+// engine's worker pool (Local) computes units in-process; the
+// internal/remote client ships them to fx8d backends.  RunUnit must
+// be safe for concurrent calls on distinct units, and because every
+// unit is a pure function of its description, a Runner may execute a
+// unit more than once (retries, hedges) without changing the result.
+type Runner[U, R any] interface {
+	RunUnit(ctx context.Context, unit U) (R, error)
+}
+
+// Local is the in-process Runner: it computes every unit with Fn on
+// the calling goroutine.  Concurrency comes from the pool driving it
+// (RunAll), not from Local itself.
+type Local[U, R any] struct {
+	Fn func(U) (R, error)
+}
+
+// RunUnit implements Runner.
+func (l Local[U, R]) RunUnit(_ context.Context, unit U) (R, error) {
+	return l.Fn(unit)
+}
+
+// Sizer is optionally implemented by Runners that know their own
+// ideal concurrency — a remote client sized by its backend count
+// rather than by local CPUs.  RunAll consults it when the caller
+// requests the default worker count.
+type Sizer interface {
+	// Concurrency resolves a requested worker count (<= 0 meaning
+	// "you choose") to the pool size the Runner wants driving it.
+	Concurrency(requested int) int
+}
+
+// RunAll drives every unit through r on a bounded worker pool and
+// returns results in unit order, so sharded execution is
+// byte-identical to local execution for every worker and backend
+// count.  workers <= 0 selects DefaultWorkers unless r implements
+// Sizer, which then chooses.  progress follows the MapProgress
+// contract; nil disables it.  The first unit error cancels ctx for
+// the remaining units and is returned after the pool drains.
+func RunAll[U, R any](ctx context.Context, workers int, units []U, r Runner[U, R], progress func(done, total int)) ([]R, error) {
+	if s, ok := any(r).(Sizer); ok && workers <= 0 {
+		workers = s.Concurrency(workers)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	out := MapProgress(workers, len(units), func(i int) R {
+		res, err := r.RunUnit(ctx, units[i])
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			cancel()
+		}
+		return res
+	}, progress)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }

@@ -1,6 +1,9 @@
 package engine
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -201,6 +204,204 @@ func TestMemoPeekIgnoresInFlight(t *testing.T) {
 	}
 	if v, ok := m.Peek("k"); !ok || v != 7 {
 		t.Errorf("Peek after completion = %d, %v", v, ok)
+	}
+}
+
+// TestMemoEvictionSkipsInFlight pins the singleflight-under-eviction
+// guarantee: an in-flight entry must never be chosen as the eviction
+// victim, because a concurrent Get for its key would then launch a
+// duplicate computation.
+func TestMemoEvictionSkipsInFlight(t *testing.T) {
+	m := Memo[int, int]{MaxEntries: 1}
+	var computesA atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	firstA := make(chan int, 1)
+	go func() {
+		firstA <- m.Get(1, func() int {
+			computesA.Add(1)
+			close(started)
+			<-release
+			return 10
+		})
+	}()
+	<-started
+
+	// Inserting a second key is over cap, but the only candidate is
+	// in flight: it must survive, not be evicted.
+	if got := m.Get(2, func() int { return 20 }); got != 20 {
+		t.Fatalf("Get(2) = %d", got)
+	}
+
+	// A concurrent Get for the in-flight key must join the running
+	// computation, not start a second one.
+	secondA := make(chan int, 1)
+	go func() {
+		secondA <- m.Get(1, func() int { computesA.Add(1); return 99 })
+	}()
+	close(release)
+	if a, b := <-firstA, <-secondA; a != 10 || b != 10 {
+		t.Errorf("Get(1) pair = %d, %d, want shared result 10", a, b)
+	}
+	if c := computesA.Load(); c != 1 {
+		t.Errorf("key 1 computed %d times under eviction pressure, want 1", c)
+	}
+
+	// Once complete, both entries become evictable: the next
+	// insertion evicts in a loop, shrinking the over-cap memo all
+	// the way back to the bound.
+	m.Get(3, func() int { return 30 })
+	if n := m.Len(); n != 1 {
+		t.Errorf("Len after completion = %d, want the memo back at MaxEntries (1)", n)
+	}
+}
+
+// TestMemoEvictionUnderChurn races many goroutines over a tiny capped
+// memo and checks (under -race) that singleflight accounting stays
+// sane: every Get observes the value its key computes.
+func TestMemoEvictionUnderChurn(t *testing.T) {
+	m := Memo[int, int]{MaxEntries: 2}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g + i) % 5
+				if got := m.Get(k, func() int { return k * 7 }); got != k*7 {
+					t.Errorf("Get(%d) = %d, want %d", k, got, k*7)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestMapProgressPanicSkipsFinalCall pins the documented panic
+// contract: a panicking unit is re-raised, is not counted, and
+// progress never reports done == total.
+func TestMapProgressPanicSkipsFinalCall(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var sawFull atomic.Bool
+		func() {
+			defer func() {
+				if r := recover(); r != "unit 2 failed" {
+					t.Errorf("workers=%d: recovered %v, want unit 2's panic", workers, r)
+				}
+			}()
+			MapProgress(workers, 6, func(i int) int {
+				if i == 2 {
+					panic("unit 2 failed")
+				}
+				return i
+			}, func(done, total int) {
+				if done == total {
+					sawFull.Store(true)
+				}
+			})
+			t.Errorf("workers=%d: MapProgress returned instead of panicking", workers)
+		}()
+		if sawFull.Load() {
+			t.Errorf("workers=%d: progress reported done == total despite a panicked unit", workers)
+		}
+	}
+}
+
+func TestRunAllMatchesLocalMap(t *testing.T) {
+	units := make([]int, 30)
+	for i := range units {
+		units[i] = i
+	}
+	r := Local[int, int]{Fn: func(u int) (int, error) { return u * u, nil }}
+	for _, workers := range []int{0, 1, 3} {
+		got, err := RunAll(context.Background(), workers, units, r, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunAllPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	r := Local[int, int]{Fn: func(u int) (int, error) {
+		if u == 5 {
+			return 0, fmt.Errorf("unit %d: %w", u, boom)
+		}
+		return u, nil
+	}}
+	units := make([]int, 10)
+	for i := range units {
+		units[i] = i
+	}
+	out, err := RunAll(context.Background(), 4, units, r, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if out != nil {
+		t.Errorf("out = %v, want nil on error", out)
+	}
+}
+
+// TestRunAllCancelsContextOnError: the ctx handed to remaining units
+// is canceled once any unit fails, so remote units fail fast instead
+// of completing work whose batch is already doomed.  The assertion is
+// timing: without cancellation the surviving units would sleep out
+// their full 5s budget.
+func TestRunAllCancelsContextOnError(t *testing.T) {
+	start := time.Now()
+	_, err := RunAll(context.Background(), 2, []int{0, 1, 2, 3},
+		runnerFunc[int, int](func(ctx context.Context, u int) (int, error) {
+			if u == 0 {
+				return 0, errors.New("first unit fails")
+			}
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(5 * time.Second):
+				return u, nil
+			}
+		}), nil)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("RunAll took %v; cancellation did not propagate to running units", elapsed)
+	}
+}
+
+// runnerFunc adapts a function to the Runner interface for tests.
+type runnerFunc[U, R any] func(ctx context.Context, u U) (R, error)
+
+func (f runnerFunc[U, R]) RunUnit(ctx context.Context, u U) (R, error) { return f(ctx, u) }
+
+// sizedRunner tests the Sizer escape hatch.
+type sizedRunner struct{ picked atomic.Int32 }
+
+func (s *sizedRunner) RunUnit(_ context.Context, u int) (int, error) { return u, nil }
+func (s *sizedRunner) Concurrency(requested int) int {
+	s.picked.Add(1)
+	return 2
+}
+
+func TestRunAllConsultsSizer(t *testing.T) {
+	var r sizedRunner
+	if _, err := RunAll(context.Background(), 0, []int{1, 2, 3}, &r, nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.picked.Load() == 0 {
+		t.Error("RunAll ignored the Runner's Sizer with workers <= 0")
+	}
+	r.picked.Store(0)
+	if _, err := RunAll(context.Background(), 3, []int{1, 2, 3}, &r, nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.picked.Load() != 0 {
+		t.Error("RunAll consulted Sizer despite an explicit worker count")
 	}
 }
 

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/concentrix"
 	"repro/internal/core"
@@ -54,6 +56,103 @@ func sweepSession(cfg fx8.Config, sysCfg concentrix.SysConfig, seed uint64, samp
 	}
 }
 
+// SweepUnit is one sweep point as a self-contained work unit: the
+// swept parameter, its value, and the point's sampling.  Units are
+// pure data — they serialize to JSON for fx8d's POST /v1/run/sweep
+// endpoint — and the point they describe is a pure function of the
+// unit, so a unit may be executed anywhere (or more than once) with
+// an identical result.
+type SweepUnit struct {
+	// Kind selects the swept parameter: "sched", "cache" or "ce".
+	Kind string `json:"kind"`
+
+	// Value is this point's parameter value.
+	Value int `json:"value"`
+
+	Seed    uint64 `json:"seed"`
+	Samples int    `json:"samples"`
+}
+
+// RunSweepUnit executes one sweep point in-process — the compute path
+// shared by the local runner and fx8d's serving side.  Unit fields
+// may arrive from the network, so out-of-range values are errors, not
+// panics.
+func RunSweepUnit(u SweepUnit) (SweepPoint, error) {
+	if u.Value < 1 {
+		return SweepPoint{}, fmt.Errorf("sweep value %d must be >= 1", u.Value)
+	}
+	if u.Samples < 1 {
+		return SweepPoint{}, fmt.Errorf("sweep samples %d must be >= 1", u.Samples)
+	}
+	switch u.Kind {
+	case "sched":
+		sysCfg := concentrix.DefaultSysConfig()
+		sysCfg.TimeSlice = u.Value
+		pt := sweepSession(fx8.DefaultConfig(), sysCfg, u.Seed, u.Samples)
+		pt.Label = fmt.Sprintf("quantum=%d", u.Value)
+		return pt, nil
+	case "cache":
+		cfg := fx8.DefaultConfig()
+		cfg.SharedCacheBytes = u.Value
+		pt := sweepSession(cfg, concentrix.DefaultSysConfig(), u.Seed, u.Samples)
+		pt.Label = fmt.Sprintf("cache=%dKB", u.Value>>10)
+		return pt, nil
+	case "ce":
+		n := u.Value
+		cfg := fx8.DefaultConfig()
+		if n > cfg.NumCE {
+			return SweepPoint{}, fmt.Errorf("ce count %d out of range 1..%d", n, cfg.NumCE)
+		}
+		cfg.NumCE = n
+		if cfg.ArbBias != nil {
+			cfg.ArbBias = cfg.ArbBias[:n]
+		}
+		if cfg.CCBDispatchExtra != nil {
+			cfg.CCBDispatchExtra = cfg.CCBDispatchExtra[:n]
+		}
+		pt := sweepSession(cfg, concentrix.DefaultSysConfig(), u.Seed, u.Samples)
+		pt.Label = fmt.Sprintf("CEs=%d", n)
+		return pt, nil
+	}
+	return SweepPoint{}, fmt.Errorf("unknown sweep kind %q (valid kinds: %s)",
+		u.Kind, strings.Join(SweepKinds(), ", "))
+}
+
+// SweepRunner executes sweep-point units: the engine's local pool, or
+// the internal/remote client sharding across fx8d backends.
+type SweepRunner = engine.Runner[SweepUnit, SweepPoint]
+
+// LocalSweepRunner returns the in-process SweepRunner.
+func LocalSweepRunner() SweepRunner {
+	return engine.Local[SweepUnit, SweepPoint]{Fn: RunSweepUnit}
+}
+
+// sweepUnits expands (kind, values, seed, samples) into work units in
+// output order.
+func sweepUnits(kind string, values []int, seed uint64, samples int) []SweepUnit {
+	units := make([]SweepUnit, len(values))
+	for i, v := range values {
+		units[i] = SweepUnit{Kind: kind, Value: v, Seed: seed, Samples: samples}
+	}
+	return units
+}
+
+// runSweepKind executes a sweep's units on an arbitrary runner,
+// reassembled in value order.
+func runSweepKind(kind string, values []int, seed uint64, samples, workers int, r SweepRunner) ([]SweepPoint, error) {
+	return engine.RunAll(context.Background(), workers, sweepUnits(kind, values, seed, samples), r, nil)
+}
+
+// mustSweep unwraps runSweepKind for the fixed-kind wrappers below,
+// whose kind is valid by construction and whose runner is local (and
+// therefore cannot fail).
+func mustSweep(pts []SweepPoint, err error) []SweepPoint {
+	if err != nil {
+		panic(err)
+	}
+	return pts
+}
+
 // SchedulerSweep measures the workload at several scheduling quanta,
 // one worker per CPU.
 func SchedulerSweep(quanta []int, seed uint64, samples int) []SweepPoint {
@@ -64,13 +163,7 @@ func SchedulerSweep(quanta []int, seed uint64, samples int) []SweepPoint {
 // every sweep point is an independent machine, so points fan out over
 // the engine and come back in quanta order regardless of worker count.
 func SchedulerSweepWorkers(quanta []int, seed uint64, samples, workers int) []SweepPoint {
-	return engine.Map(workers, len(quanta), func(i int) SweepPoint {
-		sysCfg := concentrix.DefaultSysConfig()
-		sysCfg.TimeSlice = quanta[i]
-		pt := sweepSession(fx8.DefaultConfig(), sysCfg, seed, samples)
-		pt.Label = fmt.Sprintf("quantum=%d", quanta[i])
-		return pt
-	})
+	return mustSweep(runSweepKind("sched", quanta, seed, samples, workers, LocalSweepRunner()))
 }
 
 // CacheSweep measures the workload at several shared cache sizes, one
@@ -81,13 +174,7 @@ func CacheSweep(sizes []int, seed uint64, samples int) []SweepPoint {
 
 // CacheSweepWorkers is CacheSweep on a bounded worker pool.
 func CacheSweepWorkers(sizes []int, seed uint64, samples, workers int) []SweepPoint {
-	return engine.Map(workers, len(sizes), func(i int) SweepPoint {
-		cfg := fx8.DefaultConfig()
-		cfg.SharedCacheBytes = sizes[i]
-		pt := sweepSession(cfg, concentrix.DefaultSysConfig(), seed, samples)
-		pt.Label = fmt.Sprintf("cache=%dKB", sizes[i]>>10)
-		return pt
-	})
+	return mustSweep(runSweepKind("cache", sizes, seed, samples, workers, LocalSweepRunner()))
 }
 
 // CESweep measures the workload on FX/1-FX/8-style configurations, one
@@ -98,20 +185,7 @@ func CESweep(counts []int, seed uint64, samples int) []SweepPoint {
 
 // CESweepWorkers is CESweep on a bounded worker pool.
 func CESweepWorkers(counts []int, seed uint64, samples, workers int) []SweepPoint {
-	return engine.Map(workers, len(counts), func(i int) SweepPoint {
-		n := counts[i]
-		cfg := fx8.DefaultConfig()
-		cfg.NumCE = n
-		if cfg.ArbBias != nil {
-			cfg.ArbBias = cfg.ArbBias[:n]
-		}
-		if cfg.CCBDispatchExtra != nil {
-			cfg.CCBDispatchExtra = cfg.CCBDispatchExtra[:n]
-		}
-		pt := sweepSession(cfg, concentrix.DefaultSysConfig(), seed, samples)
-		pt.Label = fmt.Sprintf("CEs=%d", n)
-		return pt
-	})
+	return mustSweep(runSweepKind("ce", counts, seed, samples, workers, LocalSweepRunner()))
 }
 
 // SweepTable renders sweep points.

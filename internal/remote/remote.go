@@ -1,0 +1,324 @@
+// Package remote is the client side of sharded execution: an
+// engine.Runner that ships work units — campaign sessions, sweep
+// points — to a fleet of fx8d backends over HTTP and reassembles
+// their results.
+//
+// Every unit is a pure function of its JSON-encoded description, so
+// the client is free to schedule aggressively: units go to the
+// least-loaded live backend, a failed unit is rerouted to the next
+// backend, a slow unit is hedged (a duplicate fired at another
+// backend, first answer wins), and when every backend is dead or none
+// was configured the unit is computed locally.  Work is never lost —
+// a backend killed mid-run costs only the latency of rerouting its
+// in-flight units — and because the engine reassembles results in
+// unit order, sharded output is byte-identical to local output for
+// every backend count.
+//
+// The serving side is fx8d's POST /v1/run/session and POST
+// /v1/run/sweep endpoints (internal/service), which execute one unit
+// per request behind the daemon's admission semaphore and cache unit
+// results in the campaign store.
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Paths of the fx8d unit-execution endpoints, shared with
+// internal/service so client and server cannot drift.
+const (
+	SessionPath = "/v1/run/session"
+	SweepPath   = "/v1/run/sweep"
+)
+
+// Defaults for Config's zero fields.
+const (
+	DefaultUnitTimeout = 10 * time.Minute
+	DefaultHedgeAfter  = 30 * time.Second
+	DefaultMaxFailures = 3
+)
+
+// Config sizes a Client.
+type Config struct {
+	// Backends are the fx8d nodes, as "host:port" (http:// is
+	// assumed) or full URLs.
+	Backends []string
+
+	// Path is the unit-execution endpoint (SessionPath or
+	// SweepPath).
+	Path string
+
+	// UnitTimeout bounds one attempt of one unit on one backend;
+	// a timed-out attempt counts as a backend failure and the unit
+	// is rerouted.  0 means DefaultUnitTimeout.
+	UnitTimeout time.Duration
+
+	// HedgeAfter is how long a unit's oldest attempt may run before
+	// a duplicate is fired at another backend (tail-latency hedging;
+	// first answer wins).  0 means DefaultHedgeAfter.
+	HedgeAfter time.Duration
+
+	// MaxFailures is how many failed units mark a backend dead; a
+	// dead backend receives no further units for the life of the
+	// client.  0 means DefaultMaxFailures.
+	MaxFailures int
+
+	// HTTPClient overrides the transport (tests); nil uses a
+	// dedicated default client.
+	HTTPClient *http.Client
+}
+
+// backend is one fx8d node and its health accounting.
+type backend struct {
+	addr     string // as configured, for Stats
+	url      string // resolved endpoint URL
+	inflight atomic.Int64
+	failures atomic.Int64
+	units    atomic.Uint64 // completed units
+	dead     atomic.Bool
+}
+
+func (b *backend) fail(maxFailures int) {
+	if b.failures.Add(1) >= int64(maxFailures) {
+		b.dead.Store(true)
+	}
+}
+
+func (b *backend) ok() {
+	b.failures.Store(0)
+	b.units.Add(1)
+}
+
+// Client is a sharding engine.Runner[U, R]: U is POSTed as JSON to
+// one backend's Path and R decoded from the 200 response.  fallback
+// computes a unit in-process when no backend can.  All methods are
+// safe for concurrent use; drive it with engine.RunAll.
+type Client[U, R any] struct {
+	cfg       Config
+	backends  []*backend
+	fallback  func(U) (R, error)
+	httpc     *http.Client
+	rr        atomic.Uint64 // round-robin tiebreak for pick
+	fallbackN atomic.Uint64
+	hedgeN    atomic.Uint64
+}
+
+// NewClient builds a sharding client; fallback is the local compute
+// path used when every backend is dead or none was configured.
+func NewClient[U, R any](cfg Config, fallback func(U) (R, error)) *Client[U, R] {
+	if cfg.UnitTimeout <= 0 {
+		cfg.UnitTimeout = DefaultUnitTimeout
+	}
+	if cfg.HedgeAfter <= 0 {
+		cfg.HedgeAfter = DefaultHedgeAfter
+	}
+	if cfg.MaxFailures <= 0 {
+		cfg.MaxFailures = DefaultMaxFailures
+	}
+	c := &Client[U, R]{cfg: cfg, fallback: fallback, httpc: cfg.HTTPClient}
+	if c.httpc == nil {
+		c.httpc = &http.Client{}
+	}
+	for _, addr := range cfg.Backends {
+		url := addr
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		c.backends = append(c.backends, &backend{
+			addr: addr,
+			url:  strings.TrimRight(url, "/") + cfg.Path,
+		})
+	}
+	return c
+}
+
+// Concurrency implements engine.Sizer: with backends configured the
+// pool is sized to keep every backend's admission queue fed (four
+// units in flight per backend, fx8d's default -max-inflight) rather
+// than to the local CPU count.
+func (c *Client[U, R]) Concurrency(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	if len(c.backends) == 0 {
+		return 0 // let the engine pick DefaultWorkers
+	}
+	return 4 * len(c.backends)
+}
+
+// RunUnit implements engine.Runner: it executes one unit on the
+// fleet, rerouting on failure and hedging slow attempts, and falls
+// back to local compute when no backend answers.  The only errors it
+// returns are the context's — a unit outcome is otherwise always
+// produced.
+func (c *Client[U, R]) RunUnit(ctx context.Context, unit U) (R, error) {
+	var zero R
+	payload, err := json.Marshal(unit)
+	if err != nil {
+		return zero, fmt.Errorf("remote: encoding unit: %w", err)
+	}
+
+	// unitCtx cancels the losers once any attempt wins.
+	unitCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type attempt struct {
+		res R
+		err error
+		b   *backend
+	}
+	results := make(chan attempt, len(c.backends)) // attempts never block on send
+	tried := make(map[*backend]bool, len(c.backends))
+	inFlight := 0
+
+	// launch fires the unit at the best untried live backend,
+	// reporting whether one existed.
+	launch := func() bool {
+		b := c.pick(tried)
+		if b == nil {
+			return false
+		}
+		tried[b] = true
+		inFlight++
+		b.inflight.Add(1)
+		go func() {
+			res, err := c.post(unitCtx, b, payload)
+			b.inflight.Add(-1)
+			results <- attempt{res, err, b}
+		}()
+		return true
+	}
+
+	launch()
+	for inFlight > 0 {
+		hedge := time.NewTimer(c.cfg.HedgeAfter)
+		select {
+		case a := <-results:
+			hedge.Stop()
+			inFlight--
+			if a.err == nil {
+				a.b.ok()
+				return a.res, nil
+			}
+			if unitCtx.Err() == nil {
+				// A real failure, not an attempt we canceled.
+				a.b.fail(c.cfg.MaxFailures)
+			}
+			if ctx.Err() != nil {
+				return zero, ctx.Err()
+			}
+			launch() // reroute to the next backend, if any
+		case <-hedge.C:
+			// The oldest attempt is slow: duplicate the unit on
+			// another backend and take whichever answers first.
+			if launch() {
+				c.hedgeN.Add(1)
+			}
+		case <-ctx.Done():
+			hedge.Stop()
+			return zero, ctx.Err()
+		}
+	}
+
+	// Every backend is dead, was tried and failed, or none was
+	// configured: compute the unit locally so work is never lost.
+	if ctx.Err() != nil {
+		return zero, ctx.Err()
+	}
+	c.fallbackN.Add(1)
+	return c.fallback(unit)
+}
+
+// pick returns the untried live backend with the fewest units in
+// flight, rotating the scan start so ties spread round-robin.
+func (c *Client[U, R]) pick(tried map[*backend]bool) *backend {
+	n := len(c.backends)
+	if n == 0 {
+		return nil
+	}
+	start := int(c.rr.Add(1)) % n
+	var best *backend
+	var bestLoad int64
+	for i := 0; i < n; i++ {
+		b := c.backends[(start+i)%n]
+		if tried[b] || b.dead.Load() {
+			continue
+		}
+		if load := b.inflight.Load(); best == nil || load < bestLoad {
+			best, bestLoad = b, load
+		}
+	}
+	return best
+}
+
+// post runs one attempt of one unit on one backend.
+func (c *Client[U, R]) post(ctx context.Context, b *backend, payload []byte) (R, error) {
+	var zero R
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.UnitTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url, bytes.NewReader(payload))
+	if err != nil {
+		return zero, fmt.Errorf("remote: %s: %w", b.addr, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return zero, fmt.Errorf("remote: %s: %w", b.addr, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return zero, fmt.Errorf("remote: %s: reading response: %w", b.addr, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := strings.TrimSpace(string(body))
+		if len(msg) > 200 {
+			msg = msg[:200]
+		}
+		return zero, fmt.Errorf("remote: %s: %s: %s", b.addr, resp.Status, msg)
+	}
+	var out R
+	if err := json.Unmarshal(body, &out); err != nil {
+		return zero, fmt.Errorf("remote: %s: decoding result: %w", b.addr, err)
+	}
+	return out, nil
+}
+
+// BackendStats is one backend's share of a client's work.
+type BackendStats struct {
+	Addr     string
+	Units    uint64 // units this backend completed
+	Failures int64  // consecutive failures (reset on success)
+	Dead     bool
+}
+
+// Stats snapshots how the client's units were executed — which
+// backends did the work, how many units fell back to local compute,
+// and how many hedges fired.
+type Stats struct {
+	Backends  []BackendStats
+	Fallbacks uint64
+	Hedges    uint64
+}
+
+// Stats returns a snapshot of the client's scheduling outcomes.
+func (c *Client[U, R]) Stats() Stats {
+	s := Stats{Fallbacks: c.fallbackN.Load(), Hedges: c.hedgeN.Load()}
+	for _, b := range c.backends {
+		s.Backends = append(s.Backends, BackendStats{
+			Addr:     b.addr,
+			Units:    b.units.Load(),
+			Failures: b.failures.Load(),
+			Dead:     b.dead.Load(),
+		})
+	}
+	return s
+}

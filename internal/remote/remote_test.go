@@ -1,0 +1,257 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// echoUnit / echoResult are a trivial unit type for exercising the
+// generic client without booting simulators.
+type echoUnit struct {
+	X int `json:"x"`
+}
+
+type echoResult struct {
+	Y int `json:"y"`
+}
+
+func echoLocal(u echoUnit) (echoResult, error) {
+	return echoResult{Y: u.X * 2}, nil
+}
+
+// echoBackend serves the echo computation, counting requests.
+func echoBackend(t *testing.T, served *atomic.Int64) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var u echoUnit
+		if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if served != nil {
+			served.Add(1)
+		}
+		res, _ := echoLocal(u)
+		json.NewEncoder(w).Encode(res)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func units(n int) []echoUnit {
+	out := make([]echoUnit, n)
+	for i := range out {
+		out[i] = echoUnit{X: i}
+	}
+	return out
+}
+
+func checkResults(t *testing.T, got []echoResult) {
+	t.Helper()
+	for i, r := range got {
+		if r.Y != i*2 {
+			t.Fatalf("out[%d] = %+v, want Y=%d", i, r, i*2)
+		}
+	}
+}
+
+func TestClientShardsAcrossBackends(t *testing.T) {
+	t.Parallel()
+	var servedA, servedB atomic.Int64
+	a := echoBackend(t, &servedA)
+	b := echoBackend(t, &servedB)
+	c := NewClient(Config{Backends: []string{a.URL, b.URL}}, echoLocal)
+
+	got, err := engine.RunAll(context.Background(), 0, units(24), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, got)
+	st := c.Stats()
+	if st.Fallbacks != 0 {
+		t.Errorf("fallbacks = %d, want 0 with live backends", st.Fallbacks)
+	}
+	if servedA.Load() == 0 || servedB.Load() == 0 {
+		t.Errorf("work not sharded: backend A served %d, B served %d",
+			servedA.Load(), servedB.Load())
+	}
+	if n := servedA.Load() + servedB.Load(); n < 24 {
+		t.Errorf("backends served %d units, want >= 24", n)
+	}
+}
+
+func TestClientReroutesAroundFailingBackend(t *testing.T) {
+	t.Parallel()
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "backend on fire", http.StatusInternalServerError)
+	}))
+	t.Cleanup(bad.Close)
+	var servedGood atomic.Int64
+	good := echoBackend(t, &servedGood)
+
+	c := NewClient(Config{
+		Backends:    []string{bad.URL, good.URL},
+		MaxFailures: 2,
+	}, echoLocal)
+	got, err := engine.RunAll(context.Background(), 4, units(16), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, got)
+	st := c.Stats()
+	var deadSeen bool
+	for _, b := range st.Backends {
+		if b.Addr == bad.URL {
+			deadSeen = b.Dead
+		}
+	}
+	if !deadSeen {
+		t.Errorf("failing backend not marked dead: %+v", st.Backends)
+	}
+	if servedGood.Load() != 16 {
+		t.Errorf("good backend served %d units, want all 16 rerouted", servedGood.Load())
+	}
+}
+
+func TestClientFallsBackToLocalWhenAllBackendsDead(t *testing.T) {
+	t.Parallel()
+	// A closed server: every connection is refused.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	addr := dead.URL
+	dead.Close()
+
+	c := NewClient(Config{Backends: []string{addr}, MaxFailures: 1}, echoLocal)
+	got, err := engine.RunAll(context.Background(), 2, units(6), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, got)
+	if st := c.Stats(); st.Fallbacks != 6 {
+		t.Errorf("fallbacks = %d, want all 6 units computed locally", st.Fallbacks)
+	}
+}
+
+func TestClientNoBackendsComputesLocally(t *testing.T) {
+	t.Parallel()
+	c := NewClient(Config{}, echoLocal)
+	got, err := engine.RunAll(context.Background(), 2, units(4), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, got)
+	if st := c.Stats(); st.Fallbacks != 4 {
+		t.Errorf("fallbacks = %d, want 4", st.Fallbacks)
+	}
+}
+
+func TestClientHedgesSlowBackend(t *testing.T) {
+	t.Parallel()
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body first: the server only notices a client
+		// disconnect (and cancels r.Context()) once the request has
+		// been consumed.
+		var u echoUnit
+		json.NewDecoder(r.Body).Decode(&u)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+			return
+		}
+		res, _ := echoLocal(u)
+		json.NewEncoder(w).Encode(res)
+	}))
+	t.Cleanup(func() { close(release); slow.Close() })
+	fast := echoBackend(t, nil)
+
+	c := NewClient(Config{
+		Backends:   []string{slow.URL, fast.URL},
+		HedgeAfter: 20 * time.Millisecond,
+	}, echoLocal)
+	// One unit at a time: whichever backend the unit lands on first,
+	// a stalled attempt must be hedged to the other and finish fast.
+	start := time.Now()
+	got, err := engine.RunAll(context.Background(), 1, units(4), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, got)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("hedged run took %v", elapsed)
+	}
+	if st := c.Stats(); st.Hedges == 0 {
+		t.Error("no hedges fired against a stalled backend")
+	}
+}
+
+func TestClientRespectsContextCancel(t *testing.T) {
+	t.Parallel()
+	stallDone := make(chan struct{})
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) // let the server watch for disconnect
+		select {
+		case <-r.Context().Done():
+		case <-stallDone:
+		}
+	}))
+	t.Cleanup(func() { close(stallDone); stall.Close() })
+	c := NewClient(Config{Backends: []string{stall.URL}, HedgeAfter: time.Hour}, echoLocal)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := c.RunUnit(ctx, echoUnit{X: 1}); err == nil {
+		t.Fatal("want context error from canceled unit")
+	}
+}
+
+func TestParseBackends(t *testing.T) {
+	t.Parallel()
+	if got := ParseBackends(""); got != nil {
+		t.Errorf("ParseBackends(\"\") = %v, want nil", got)
+	}
+	got := ParseBackends(" a:1, b:2 ,,c:3 ")
+	want := []string{"a:1", "b:2", "c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("ParseBackends = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ParseBackends[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunnerConstructorsNilForEmpty(t *testing.T) {
+	t.Parallel()
+	if r := StudyRunner(nil); r != nil {
+		t.Error("StudyRunner(nil) should be nil (local compute)")
+	}
+	if r := SweepRunner(nil); r != nil {
+		t.Error("SweepRunner(nil) should be nil (local compute)")
+	}
+	if StudyRunner([]string{"h:1"}) == nil || SweepRunner([]string{"h:1"}) == nil {
+		t.Error("constructors returned nil for a non-empty backend list")
+	}
+}
+
+func TestClientConcurrencySizing(t *testing.T) {
+	t.Parallel()
+	c := NewClient(Config{Backends: []string{"a:1", "b:2"}}, echoLocal)
+	if got := c.Concurrency(0); got != 8 {
+		t.Errorf("Concurrency(0) = %d, want 4 per backend", got)
+	}
+	if got := c.Concurrency(3); got != 3 {
+		t.Errorf("Concurrency(3) = %d, want the explicit request honored", got)
+	}
+	local := NewClient(Config{}, echoLocal)
+	if got := local.Concurrency(0); got != 0 {
+		t.Errorf("Concurrency(0) with no backends = %d, want 0 (engine default)", got)
+	}
+}

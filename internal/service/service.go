@@ -17,6 +17,15 @@
 //	GET  /v1/progress?scale=S SSE stream of campaign progress
 //	GET  /v1/metrics          per-endpoint latency + cache hit rates
 //	POST /v1/purge            drop both cache tiers
+//	POST /v1/run/session      execute one campaign session unit
+//	POST /v1/run/sweep        execute one sweep-point unit
+//
+// The /v1/run endpoints are the serving side of sharded execution
+// (internal/remote): each request carries one JSON work unit, runs
+// behind the same admission semaphore as the other expensive
+// endpoints, and is cached per unit in the campaign store, so a
+// re-routed or hedged unit that was already computed here is served
+// from disk.
 package service
 
 import (
@@ -28,6 +37,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/remote"
+	"repro/internal/store"
 )
 
 // Config sizes a Server.
@@ -83,6 +94,8 @@ func New(cfg Config) *Server {
 	s.handle("GET /v1/sweep", "sweep", true, s.handleSweep)
 	s.handle("GET /v1/metrics", "metrics", false, s.handleMetrics)
 	s.handle("POST /v1/purge", "purge", false, s.handlePurge)
+	s.handle("POST "+remote.SessionPath, "run_session", true, s.handleRunSession)
+	s.handle("POST "+remote.SweepPath, "run_sweep", true, s.handleRunSweep)
 	s.mux.HandleFunc("GET /v1/progress", s.handleProgress) // streams; self-instrumented
 	return s
 }
@@ -332,4 +345,68 @@ func (s *Server) handlePurge(w http.ResponseWriter, r *http.Request) error {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, http.StatusOK, s.metricsSnapshot())
+}
+
+// Unit-execution endpoints: the serving side of internal/remote.
+
+// Unit namespaces version the stored encoding of per-unit results;
+// they are distinct from the whole-campaign and whole-sweep
+// namespaces so a sharded unit and a local artefact never collide.
+const (
+	sessionUnitNamespace = "unit-session/v1"
+	sweepUnitNamespace   = "unit-sweep/v1"
+)
+
+// maxUnitBody bounds a /v1/run request body; work units are small
+// configuration records.
+const maxUnitBody = 1 << 20
+
+// decodeUnit reads one JSON work unit from a request body.
+func decodeUnit(w http.ResponseWriter, r *http.Request, unit any) error {
+	body := http.MaxBytesReader(w, r.Body, maxUnitBody)
+	if err := json.NewDecoder(body).Decode(unit); err != nil {
+		return badRequest("decoding work unit: %v", err)
+	}
+	return nil
+}
+
+// Unit results flow through store.GetOrComputeJSON: a unit already
+// computed here (or by a peer sharing the store directory) is served
+// from disk, and computed results are written back — a re-routed or
+// hedged duplicate never recomputes.
+
+func (s *Server) handleRunSession(w http.ResponseWriter, r *http.Request) error {
+	var unit core.StudyUnit
+	if err := decodeUnit(w, r, &unit); err != nil {
+		return err
+	}
+	if unit.Random == nil && unit.Triggered == nil {
+		return badRequest("session unit %d has no spec", unit.ID)
+	}
+	res, err := store.GetOrComputeJSON(s.cache.Store(), sessionUnitNamespace, unit, func() (core.StudyUnitResult, error) {
+		return core.RunStudyUnit(unit)
+	})
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleRunSweep(w http.ResponseWriter, r *http.Request) error {
+	var unit experiments.SweepUnit
+	if err := decodeUnit(w, r, &unit); err != nil {
+		return err
+	}
+	if experiments.DefaultSweepValues(unit.Kind) == nil {
+		return badRequest("unknown sweep kind %q", unit.Kind)
+	}
+	res, err := store.GetOrComputeJSON(s.cache.Store(), sweepUnitNamespace, unit, func() (experiments.SweepPoint, error) {
+		return experiments.RunSweepUnit(unit)
+	})
+	if err != nil {
+		// The kind was validated above; remaining unit errors are
+		// out-of-range values — the client's fault, not ours.
+		return badRequest("%v", err)
+	}
+	return writeJSON(w, http.StatusOK, res)
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/monitor"
 	"repro/internal/store"
 )
@@ -359,6 +360,103 @@ func lastDataLine(t *testing.T, body []byte) string {
 		t.Fatalf("no SSE data lines in %q", body)
 	}
 	return last
+}
+
+func post(t *testing.T, srv *Server, path, body string) (int, []byte) {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}
+
+// TestRunSessionEndpoint exercises the serving side of sharded
+// execution: one session unit in, the completed session out, with the
+// unit result cached in the store for re-routed or hedged duplicates.
+func TestRunSessionEndpoint(t *testing.T) {
+	t.Parallel()
+	srv := newTestServer(t, t.TempDir())
+	unit := core.StudyUnit{ID: 1, Random: &core.SessionSpec{
+		Samples:  2,
+		Sampling: monitor.SampleSpec{Snapshots: 2, GapCycles: 2_000},
+		Seed:     7,
+	}}
+	body, err := json.Marshal(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, resp1 := post(t, srv, "/v1/run/session", string(body))
+	if code != http.StatusOK {
+		t.Fatalf("run/session = %d: %s", code, resp1)
+	}
+	var res core.StudyUnitResult
+	if err := json.Unmarshal(resp1, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Random == nil || res.Triggered != nil || len(res.Random.Samples) != 2 {
+		t.Fatalf("unit result = %+v, want a 2-sample random session", res)
+	}
+	want, err := core.RunStudyUnit(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(want)
+	if string(resp1) != string(wantJSON)+"\n" {
+		t.Error("served unit result differs from local execution")
+	}
+
+	// The same unit again is served from the store, not recomputed.
+	writes := srv.cache.Store().Stats().Writes
+	code, resp2 := post(t, srv, "/v1/run/session", string(body))
+	if code != http.StatusOK {
+		t.Fatalf("second run/session = %d", code)
+	}
+	if string(resp2) != string(resp1) {
+		t.Error("cached unit result differs from computed result")
+	}
+	st := srv.cache.Store().Stats()
+	if st.Writes != writes || st.Hits == 0 {
+		t.Errorf("store stats after duplicate unit = %+v, want a hit and no new write", st)
+	}
+
+	// Defective units are rejected before any compute.
+	if code, _ := post(t, srv, "/v1/run/session", `{"id":3}`); code != http.StatusBadRequest {
+		t.Errorf("spec-less unit = %d, want 400", code)
+	}
+	if code, _ := post(t, srv, "/v1/run/session", `{"id":`); code != http.StatusBadRequest {
+		t.Errorf("malformed unit = %d, want 400", code)
+	}
+}
+
+func TestRunSweepEndpoint(t *testing.T) {
+	t.Parallel()
+	srv := newTestServer(t, t.TempDir())
+	code, body := post(t, srv, "/v1/run/sweep", `{"kind":"ce","value":2,"seed":17,"samples":1}`)
+	if code != http.StatusOK {
+		t.Fatalf("run/sweep = %d: %s", code, body)
+	}
+	var pt experiments.SweepPoint
+	if err := json.Unmarshal(body, &pt); err != nil {
+		t.Fatal(err)
+	}
+	if pt.Label != "CEs=2" {
+		t.Errorf("sweep point = %+v", pt)
+	}
+	if code, _ := post(t, srv, "/v1/run/sweep", `{"kind":"bogus","value":1}`); code != http.StatusBadRequest {
+		t.Errorf("unknown sweep kind = %d, want 400", code)
+	}
+	// Out-of-range values from the network are a 400, not a panic.
+	for _, body := range []string{
+		`{"kind":"ce","value":9,"seed":1,"samples":1}`,
+		`{"kind":"ce","value":-1,"seed":1,"samples":1}`,
+		`{"kind":"sched","value":10000,"seed":1,"samples":0}`,
+	} {
+		if code, resp := post(t, srv, "/v1/run/sweep", body); code != http.StatusBadRequest {
+			t.Errorf("%s = %d (%s), want 400", body, code, resp)
+		}
+	}
 }
 
 // TestCLIAndServiceShareOneStore proves the -cache contract: a

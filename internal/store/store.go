@@ -356,3 +356,27 @@ func PutJSON[T any](s *Store, key string, v T) error {
 	}
 	return s.Put(key, data)
 }
+
+// GetOrComputeJSON returns the artefact for (namespace, cfg) through
+// the store: decoded from disk on a hit, otherwise computed and
+// written back — a write failure never fails the call, the computed
+// value is still returned.  A nil store always computes.  This is the
+// shared get-or-compute shape behind per-unit caching in the service
+// and session caching in cmd/measure.
+func GetOrComputeJSON[T any](s *Store, namespace string, cfg any, compute func() (T, error)) (T, error) {
+	var zero T
+	key, err := Key(namespace, cfg)
+	if err != nil {
+		return zero, err
+	}
+	var cached T
+	if GetJSON(s, key, &cached) {
+		return cached, nil
+	}
+	out, err := compute()
+	if err != nil {
+		return zero, err
+	}
+	PutJSON(s, key, out)
+	return out, nil
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -196,6 +197,72 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 	}
 }
 
+// TestPurgeRacesInFlightWrites pins the re-read/remove race noted in
+// removeIfUnchanged: with Purge, Put and Get racing on one key, a
+// reader must only ever observe the exact stored payload or a clean
+// miss — never a torn or foreign entry surfaced as a hit.  Run under
+// -race in CI.
+func TestPurgeRacesInFlightWrites(t *testing.T) {
+	s := open(t)
+	key, _ := Key("test/v1", "contended")
+	payload := bytes.Repeat([]byte("stable-bytes"), 512)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := s.Put(key, payload); err != nil {
+					t.Errorf("Put during purge race: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// The purger is the bounded goroutine: it runs a fixed number of
+	// purges against the churn, then stops everyone.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 60; i++ {
+			if err := s.Purge(); err != nil {
+				t.Errorf("Purge during writes: %v", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if got, ok := s.Get(key); ok && !bytes.Equal(got, payload) {
+					t.Error("Get surfaced a corrupt read as a hit during purge")
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	if st := s.Stats(); st.Corrupt != 0 {
+		t.Errorf("Corrupt = %d; purge surfaced defective entries", st.Corrupt)
+	}
+}
+
 func TestSizeBoundEvictsOldest(t *testing.T) {
 	s := open(t, WithMaxBytes(400))
 	payload := bytes.Repeat([]byte("x"), 100) // ~175 bytes with header
@@ -292,5 +359,51 @@ func TestJSONHelpers(t *testing.T) {
 	}
 	if err := PutJSON(nil, key, 1); err != nil {
 		t.Error("nil store Put errored")
+	}
+}
+
+// TestGetOrComputeJSON pins the shared get-or-compute shape: compute
+// exactly once, then serve from disk; compute errors propagate
+// without writing; a nil store always computes.
+func TestGetOrComputeJSON(t *testing.T) {
+	s := open(t)
+	computes := 0
+	compute := func() (int, error) { computes++; return 42, nil }
+
+	got, err := GetOrComputeJSON(s, "answer/v1", "q", compute)
+	if err != nil || got != 42 {
+		t.Fatalf("first call = %d, %v", got, err)
+	}
+	got, err = GetOrComputeJSON(s, "answer/v1", "q", compute)
+	if err != nil || got != 42 {
+		t.Fatalf("second call = %d, %v", got, err)
+	}
+	if computes != 1 {
+		t.Errorf("computed %d times, want once then disk", computes)
+	}
+	// A different namespace or config is a different artefact.
+	if _, err := GetOrComputeJSON(s, "answer/v2", "q", compute); err != nil {
+		t.Fatal(err)
+	}
+	if computes != 2 {
+		t.Errorf("namespace change did not recompute (computes = %d)", computes)
+	}
+
+	boom := errors.New("compute failed")
+	if _, err := GetOrComputeJSON(s, "err/v1", "q", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Errorf("compute error = %v, want propagated", err)
+	}
+	if k, _ := Key("err/v1", "q"); s.Has(k) {
+		t.Error("failed compute wrote an entry")
+	}
+
+	nilComputes := 0
+	for i := 0; i < 2; i++ {
+		if v, err := GetOrComputeJSON(nil, "n/v1", "q", func() (int, error) { nilComputes++; return 7, nil }); err != nil || v != 7 {
+			t.Fatalf("nil store call = %d, %v", v, err)
+		}
+	}
+	if nilComputes != 2 {
+		t.Errorf("nil store computed %d times, want every call", nilComputes)
 	}
 }
