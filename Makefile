@@ -26,11 +26,38 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-# bench runs the campaign benchmark (workers=1 vs workers=max) and
-# records the run as test2json events in BENCH_study.json, so CI and
-# successive sessions can diff engine throughput mechanically.
+# bench runs one benchmark set per layer of the stack and records
+# each as a parsed result set in BENCH_<layer>.json through
+# cmd/benchdiff, the same code path the CI bench-gate uses to diff a
+# PR against its merge base (see .github/workflows/ci.yml).  Every
+# layer runs -count >= 2 and the parser keeps the fastest run,
+# damping machine noise before the 15% gate sees the numbers.
+#
+#   make bench                # all layers, then a parsed summary
+#   benchdiff old/ new/       # diff two directories of BENCH files
+#
+# BENCHTIME scales the micro-benchmark runs; session-, sweep- and
+# study-level benchmarks use fixed iteration counts because one op
+# already spans millions of simulated cycles.
+BENCHTIME ?= 0.2s
+
+# bench_layer runs one layer's benchmarks as test2json events and
+# parses them into $(1); $(2) is the bench regex, $(3) the package,
+# $(4) extra go test flags.
+define bench_layer
+	$(GO) test -json -run '^$$' -bench '$(2)' $(4) $(3) > .bench.tmp
+	$(GO) run ./cmd/benchdiff -parse -o $(1) .bench.tmp
+endef
+
 bench:
-	$(GO) test -json -bench=BenchmarkRunStudy -benchtime=1x -run=^$$ ./internal/core/ > BENCH_study.json
-	@grep -o '"Output":".*Benchmark[^"]*"' BENCH_study.json | head -20 || true
+	$(call bench_layer,BENCH_fx8.json,ClusterStep|SharedCacheLookup|MemSystem,./internal/fx8,-benchtime $(BENCHTIME) -count 3)
+	$(call bench_layer,BENCH_concentrix.json,SystemStep|VMTouch,./internal/concentrix,-benchtime $(BENCHTIME) -count 3)
+	$(call bench_layer,BENCH_monitor.json,CollectSample|DASObserve,./internal/monitor,-benchtime $(BENCHTIME) -count 3)
+	$(call bench_layer,BENCH_core.json,RunRandomSession|RunTriggeredSession,./internal/core,-benchtime 10x -count 2)
+	$(call bench_layer,BENCH_experiments.json,SweepPoint,./internal/experiments,-benchtime 5x -count 2)
+	$(call bench_layer,BENCH_service.json,ServiceStudy,./internal/service,-benchtime 20x -count 2)
+	$(call bench_layer,BENCH_study.json,RunStudy,./internal/core,-benchtime 1x -count 2)
+	@rm -f .bench.tmp
+	$(GO) run ./cmd/benchdiff -print BENCH_fx8.json BENCH_concentrix.json BENCH_monitor.json BENCH_core.json BENCH_experiments.json BENCH_service.json BENCH_study.json
 
 ci: fmt vet build test race

@@ -49,4 +49,19 @@
 // The root package holds the benchmark harness: one benchmark per
 // table and figure of the paper's evaluation, plus ablation benchmarks
 // for the design choices documented in DESIGN.md.
+//
+// # Benchmarking
+//
+// The session hot path is benchmarked at every layer: the fx8 cluster
+// step loop, the shared cache and memory buses, the Concentrix
+// scheduling tick, the monitor's sampling loop, both session kinds,
+// the sweep point, and the daemon's warm /v1/study serving path.
+// make bench records one parsed result set per layer
+// (BENCH_<layer>.json) through internal/perf, and cmd/benchdiff
+// parses, summarizes and diffs those sets against a regression
+// threshold — the same code path the CI bench-gate job uses to
+// compare a pull request against its merge base and fail the build
+// on a hot-path regression.  Optimizations are pinned behavior-
+// preserving by the golden paper-scale test and byte-identical
+// canonical study output.
 package repro

@@ -36,6 +36,10 @@ type Process struct {
 	// conclusion points at.
 	CPUCycles  uint64
 	WaitCycles uint64
+
+	// waitFrom stamps the cycle the process last entered the run
+	// queue; dispatch credits the elapsed wait to WaitCycles.
+	waitFrom uint64
 }
 
 // Turnaround returns the job's total time in system, or 0 before
@@ -78,6 +82,15 @@ type VM struct {
 	faultCycles int
 	kernel      *Kernel
 	current     *Process
+
+	// lastPage/lastOK memoize the most recently touched resident
+	// page: touching a resident page mutates nothing in the address
+	// space, so the run of references a CE makes within one page
+	// (vector streams, hot code) skips the residency map entirely.
+	// Residency can only change on a fault or a process switch, and
+	// both clear the memo.
+	lastPage uint32
+	lastOK   bool
 }
 
 // NewVM builds the virtual memory hook.  pageBytes must be a power of
@@ -91,16 +104,29 @@ func NewVM(pageBytes, faultCycles int, kernel *Kernel) *VM {
 }
 
 // SetCurrent switches the address space accesses resolve against.
-func (v *VM) SetCurrent(p *Process) { v.current = p }
+func (v *VM) SetCurrent(p *Process) {
+	v.current = p
+	v.lastOK = false
+}
 
 // Touch implements fx8.MMU.
 func (v *VM) Touch(ce int, addr uint32) int {
 	if v.current == nil || v.current.Space == nil {
 		return 0
 	}
-	if v.current.Space.Touch(addr >> v.pageShift) {
+	page := addr >> v.pageShift
+	if v.lastOK && page == v.lastPage {
+		return 0
+	}
+	if v.current.Space.Touch(page) {
 		v.kernel.PageFaultsUser++
+		// The fault evicted some resident page; only the page just
+		// brought in is known resident now.
+		v.lastPage = page
+		v.lastOK = true
 		return v.faultCycles
 	}
+	v.lastPage = page
+	v.lastOK = true
 	return 0
 }

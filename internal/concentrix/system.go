@@ -74,7 +74,10 @@ func (s *System) Submit(p *Process) {
 	})
 }
 
-// Step runs the scheduler and advances the cluster one cycle.
+// Step runs the scheduler and advances the cluster one cycle.  Run
+// queue waiting is accounted lazily: enqueue stamps the cycle and
+// dispatch credits the difference, so the per-cycle path never walks
+// the queue (the totals are identical to per-cycle increments).
 func (s *System) Step() {
 	s.schedule()
 	if s.current == nil {
@@ -84,9 +87,6 @@ func (s *System) Step() {
 		if s.sliceLeft > 0 {
 			s.sliceLeft--
 		}
-	}
-	for _, p := range s.runq {
-		p.WaitCycles++
 	}
 	s.Cluster.Step()
 }
@@ -103,6 +103,7 @@ func (s *System) StepN(n int) {
 func (s *System) schedule() {
 	now := s.Cluster.Cycle()
 	for len(s.pending) > 0 && s.pending[0].Arrival <= now {
+		s.pending[0].waitFrom = now
 		s.runq = append(s.runq, s.pending[0])
 		s.pending = s.pending[1:]
 	}
@@ -120,6 +121,7 @@ func (s *System) schedule() {
 		// serial point.
 		if stream, ok := s.Cluster.Preempt(); ok {
 			s.current.Serial = stream
+			s.current.waitFrom = now
 			s.runq = append(s.runq, s.current)
 			s.current = nil
 			s.Kernel.ContextSwitches++
@@ -129,6 +131,7 @@ func (s *System) schedule() {
 	if s.current == nil && len(s.runq) > 0 {
 		p := s.runq[0]
 		s.runq = s.runq[1:]
+		p.WaitCycles += now - p.waitFrom
 		s.dispatch(p, now)
 	}
 }

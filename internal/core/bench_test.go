@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/monitor"
+)
+
+// Session-level benchmarks: the two session kinds are the work units
+// every campaign, sweep and service request fans out over, so their
+// ns/op is the repository's headline hot-path number.  make bench
+// records them in BENCH_core.json and the CI bench-gate fails a PR
+// that slows them past the threshold.
+
+// BenchmarkRunRandomSession measures one scaled-down random-sampling
+// session end to end: machine boot, workload generation, sampling
+// through the analyzer, and reduction.
+func BenchmarkRunRandomSession(b *testing.B) {
+	spec := SessionSpec{
+		Samples:  4,
+		Sampling: monitor.SampleSpec{Snapshots: 5, GapCycles: 5_000},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.Seed = uint64(i)
+		RunRandomSession(i, spec)
+	}
+}
+
+// BenchmarkRunTriggeredSession measures one scaled-down triggered
+// session: armed acquisitions waiting on the all-8 comparator.
+func BenchmarkRunTriggeredSession(b *testing.B) {
+	spec := TriggeredSpec{
+		Mode:           monitor.TriggerAll8,
+		Samples:        2,
+		Buffers:        2,
+		BudgetCycles:   60_000,
+		WorkloadCycles: 400_000,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.Seed = uint64(i)
+		RunTriggeredSession(i, spec)
+	}
+}

@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// BenchmarkSweepPoint measures one sweep point — the work unit the
+// scheduler/cache/CE sweeps shard across fx8d backends.  make bench
+// records it in BENCH_experiments.json for the CI regression gate.
+func BenchmarkSweepPoint(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u := SweepUnit{Kind: "sched", Value: 100_000, Seed: uint64(i), Samples: 1}
+		if _, err := RunSweepUnit(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Package fastrand is math/rand/v2's generator without the Source
+// interface: the exact PCG state and draw algorithms of
+// rand.New(rand.NewPCG(s1, s2)) on the concrete type, so per-cycle
+// and per-instruction call sites (IP traffic, workload instruction
+// streams) skip an interface dispatch per draw.  The draw sequence is
+// pinned bit-for-bit against the stdlib by this package's tests.
+// Unlike the stdlib, which switches reduction algorithms on 32-bit
+// hosts, the sequence is the 64-bit one on every platform, so seeded
+// workloads never depend on GOARCH.
+package fastrand
+
+import (
+	"math/bits"
+	"math/rand/v2"
+)
+
+// PCG draws the same sequence as rand.New(rand.NewPCG(seed1, seed2)).
+// The zero value is the zero-seeded generator; use New for seeded
+// ones.  Not safe for concurrent use, like rand.Rand.
+type PCG struct {
+	src rand.PCG
+}
+
+// New returns a generator with the state of rand.NewPCG(seed1, seed2).
+func New(seed1, seed2 uint64) PCG {
+	return PCG{src: *rand.NewPCG(seed1, seed2)}
+}
+
+// Uint64 matches (*rand.Rand).Uint64.
+func (p *PCG) Uint64() uint64 { return p.src.Uint64() }
+
+// IntN matches (*rand.Rand).IntN's 64-bit path, including the panic
+// on n <= 0.
+func (p *PCG) IntN(n int) int {
+	if n <= 0 {
+		panic("invalid argument to IntN")
+	}
+	u := uint64(n)
+	if u&(u-1) == 0 { // n is power of two, can mask
+		return int(p.src.Uint64() & (u - 1))
+	}
+	hi, lo := bits.Mul64(p.src.Uint64(), u)
+	if lo < u {
+		thresh := -u % u
+		for lo < thresh {
+			hi, lo = bits.Mul64(p.src.Uint64(), u)
+		}
+	}
+	return int(hi)
+}
+
+// Float64 matches (*rand.Rand).Float64.
+func (p *PCG) Float64() float64 {
+	return float64(p.src.Uint64()<<11>>11) / (1 << 53)
+}

@@ -1,0 +1,112 @@
+package fx8
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// Per-layer benchmarks for the cluster hot path: the CE step loop,
+// the shared cache, and the memory buses.  make bench records them in
+// BENCH_fx8.json and the CI bench-gate diffs them against the merge
+// base, so a regression in the simulator's inner loop fails the build
+// before it multiplies through every session of every campaign.
+
+// benchLoopBody builds one iteration of a vectorized loop body: the
+// load-load-compute-store chunk shape the workload generator emits.
+func benchLoopBody(iter int) Stream {
+	base := uint32(iter) * 4096
+	return &SliceStream{Instrs: []Instr{
+		{Op: OpVLoad, Addr: 0x10000 + base%(64<<10), N: 32, IAddr: 0x100},
+		{Op: OpVLoad, Addr: 0x40000 + base, N: 32, IAddr: 0x104},
+		{Op: OpVCompute, N: 24, IAddr: 0x108},
+		{Op: OpVStore, Addr: 0x20000 + base%(64<<10), N: 32, IAddr: 0x10c},
+		{Op: OpCompute, N: 8, IAddr: 0x110},
+	}}
+}
+
+// benchProgram interleaves serial bursts with concurrent loops — a
+// deterministic miniature of a cluster job.
+func benchProgram() Stream {
+	var s SliceStream
+	for ph := 0; ph < 4; ph++ {
+		for i := 0; i < 16; i++ {
+			s.Instrs = append(s.Instrs, Instr{Op: OpCompute, N: 3, IAddr: uint32(i * 4)})
+			if i%4 == 0 {
+				s.Instrs = append(s.Instrs, Instr{Op: OpLoad, Addr: uint32(0x8000 + i*64), IAddr: uint32(i*4 + 2)})
+			}
+		}
+		s.Instrs = append(s.Instrs, Instr{Op: OpCStart, IAddr: 0x200, Loop: &Loop{Trips: 24, Body: benchLoopBody}})
+	}
+	return &s
+}
+
+// BenchmarkClusterStep measures one bus cycle of the full cluster
+// (arbitration, eight CEs, IP traffic) under a representative
+// serial+concurrent program — the innermost loop of every session.
+func BenchmarkClusterStep(b *testing.B) {
+	cl := New(DefaultConfig())
+	if err := cl.Run(benchProgram(), 8); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cl.Idle() {
+			if err := cl.Run(benchProgram(), 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+		cl.Step()
+	}
+}
+
+// BenchmarkClusterStepSnapshot is BenchmarkClusterStep with the probe
+// latched every cycle — the monitored (acquisition) stepping mode.
+func BenchmarkClusterStepSnapshot(b *testing.B) {
+	cl := New(DefaultConfig())
+	if err := cl.Run(benchProgram(), 8); err != nil {
+		b.Fatal(err)
+	}
+	var sink trace.Record
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cl.Idle() {
+			if err := cl.Run(benchProgram(), 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+		cl.Step()
+		sink = cl.Snapshot()
+	}
+	_ = sink
+}
+
+// BenchmarkSharedCacheLookup measures one shared-cache access over a
+// working set that misses at a realistic rate.
+func BenchmarkSharedCacheLookup(b *testing.B) {
+	c := NewSharedCache(DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint32(i*232) % (512 << 10) // walks past the 128 KB cache
+		c.Lookup(addr, i%4 == 0)
+	}
+}
+
+// BenchmarkMemSystem measures the memory-bus schedule: one enqueue
+// plus the probe's same-cycle opcode query.
+func BenchmarkMemSystem(b *testing.B) {
+	m := NewMemSystem(trace.NumMemBus)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := uint64(i)
+		bus := i & 1
+		m.Enqueue(bus, trace.MemRead, 5, now)
+		if m.OpAt(bus, now) == trace.MemIdle {
+			b.Fatal("enqueued transaction should occupy the bus")
+		}
+	}
+}

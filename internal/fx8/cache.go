@@ -10,6 +10,7 @@ type SharedCache struct {
 	modMask   uint32
 	modShift  uint
 	setMask   uint32
+	tagShift  uint // modShift + set index bits: line >> tagShift = tag
 	ways      int
 
 	// sets[module][set*ways+way]
@@ -49,6 +50,7 @@ func NewSharedCache(cfg Config) *SharedCache {
 		modMask:   uint32(cfg.SharedModules - 1),
 		modShift:  modShift,
 		setMask:   uint32(sets - 1),
+		tagShift:  modShift + setBits(uint32(sets-1)),
 		ways:      cfg.SharedWays,
 		sets:      sets,
 		lines:     make([]cacheLine, totalLines),
@@ -78,7 +80,7 @@ func (c *SharedCache) Lookup(addr uint32, write bool) LookupResult {
 	line := addr >> c.lineShift
 	module := int(line & c.modMask)
 	set := int(line >> c.modShift & c.setMask)
-	tag := line >> (c.modShift + setBits(c.setMask))
+	tag := line >> c.tagShift
 
 	base := (module*c.sets + set) * c.ways
 	ways := c.lines[base : base+c.ways]
@@ -109,7 +111,7 @@ func (c *SharedCache) Lookup(addr uint32, write bool) LookupResult {
 	res := LookupResult{Module: module}
 	if ways[victim].valid && ways[victim].dirty {
 		res.WriteBack = true
-		victimLine := ways[victim].tag<<(c.modShift+setBits(c.setMask)) |
+		victimLine := ways[victim].tag<<c.tagShift |
 			uint32(set)<<c.modShift | uint32(module)
 		res.VictimAddr = victimLine << c.lineShift
 		c.WriteBacks++
@@ -125,7 +127,7 @@ func (c *SharedCache) Contains(addr uint32) bool {
 	line := addr >> c.lineShift
 	module := int(line & c.modMask)
 	set := int(line >> c.modShift & c.setMask)
-	tag := line >> (c.modShift + setBits(c.setMask))
+	tag := line >> c.tagShift
 	base := (module*c.sets + set) * c.ways
 	for _, w := range c.lines[base : base+c.ways] {
 		if w.valid && w.tag == tag {
@@ -142,7 +144,7 @@ func (c *SharedCache) Invalidate(addr uint32) bool {
 	line := addr >> c.lineShift
 	module := int(line & c.modMask)
 	set := int(line >> c.modShift & c.setMask)
-	tag := line >> (c.modShift + setBits(c.setMask))
+	tag := line >> c.tagShift
 	base := (module*c.sets + set) * c.ways
 	ways := c.lines[base : base+c.ways]
 	for i := range ways {

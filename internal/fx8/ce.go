@@ -72,8 +72,8 @@ type CE struct {
 	XbarWaitCycles uint64
 }
 
-func newCE(id int, cfg Config) *CE {
-	return &CE{id: id, icache: newICache(cfg.ICacheBytes, cfg.LineBytes)}
+func newCE(id int, cfg Config) CE {
+	return CE{id: id, icache: newICache(cfg.ICacheBytes, cfg.LineBytes)}
 }
 
 // ID returns the CE's index within the cluster.
@@ -98,7 +98,7 @@ func (ce *CE) BusOp() trace.CEOp { return ce.busOp }
 
 // reset returns the CE to the idle state, clearing any in-flight
 // work.  Used on process switch.
-func (ce *CE) reset() {
+func (ce *CE) reset(cl *Cluster) {
 	ce.mode = ceIdle
 	ce.stream = nil
 	ce.hasCur = false
@@ -106,6 +106,9 @@ func (ce *CE) reset() {
 	ce.computeLeft = 0
 	ce.vecLeft = 0
 	ce.vecLineOK = false
+	if ce.wantLookup {
+		cl.wantLookups--
+	}
 	ce.wantLookup = false
 	ce.granted = false
 	ce.waited = 0
@@ -154,6 +157,7 @@ func (ce *CE) step(cl *Cluster) {
 		}
 		ce.granted = false
 		ce.wantLookup = false
+		cl.wantLookups--
 		ce.waited = 0
 		ce.performLookup(cl)
 		return
@@ -268,7 +272,7 @@ func (ce *CE) vecElement(cl *Cluster) {
 // consumeElement retires one vector element.
 func (ce *CE) consumeElement(cl *Cluster) {
 	ce.vecLeft--
-	ce.vecAddr += uint32(cl.cfg.VectorLaneBytes)
+	ce.vecAddr += cl.laneBytes
 	ce.InstrsRetired++
 	if ce.vecLeft == 0 {
 		ce.vecLineOK = false
@@ -279,6 +283,9 @@ func (ce *CE) consumeElement(cl *Cluster) {
 // the MMU; a page fault stalls the CE before the access is eligible
 // for arbitration.
 func (ce *CE) postLookup(cl *Cluster, addr uint32, write bool, kind lookupKind) {
+	if !ce.wantLookup {
+		cl.wantLookups++
+	}
 	ce.wantLookup = true
 	ce.lookupAddr = addr
 	ce.lookupWrite = write

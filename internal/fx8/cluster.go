@@ -20,16 +20,27 @@ type Cluster struct {
 	cycle     uint64
 	lineShift uint
 
-	ces   []*CE
+	// Invariant configuration values hoisted out of the per-cycle
+	// paths: cfg is consulted once at construction, not per step.
+	laneBytes  uint32 // cfg.VectorLaneBytes
+	lookupsCap int    // cfg.LookupsPerModule
+	arbBias    []int  // cfg.ArbBias
+
+	ces   []CE
 	cache *SharedCache
 	mem   *MemSystem
 	ccb   *CCB
-	ips   []*IP
+	ips   []IP
 	mmu   MMU
 
 	serialStream Stream
 	clusterSize  int
 	running      bool
+
+	// wantLookups counts CEs with an outstanding shared-cache access,
+	// so arbitration can skip its scan entirely on the (frequent)
+	// cycles with no requests.
+	wantLookups int
 
 	// Arbitration scratch (reused each cycle).
 	reqBuf   []*CE
@@ -48,19 +59,26 @@ func New(cfg Config) *Cluster {
 		lineShift++
 	}
 	cl := &Cluster{
-		cfg:       cfg,
-		lineShift: lineShift,
-		cache:     NewSharedCache(cfg),
-		mem:       NewMemSystem(cfg.MemBuses),
-		ccb:       NewCCB(),
-		capacity:  make([]int, cfg.SharedModules),
+		cfg:        cfg,
+		lineShift:  lineShift,
+		laneBytes:  uint32(cfg.VectorLaneBytes),
+		lookupsCap: cfg.LookupsPerModule,
+		arbBias:    cfg.ArbBias,
+		cache:      NewSharedCache(cfg),
+		mem:        NewMemSystem(cfg.MemBuses),
+		ccb:        NewCCB(),
+		capacity:   make([]int, cfg.SharedModules),
 	}
-	for i := 0; i < cfg.NumCE; i++ {
-		cl.ces = append(cl.ces, newCE(i, cfg))
+	// CEs and IPs live in value slices: the per-cycle loops walk one
+	// contiguous block instead of chasing eight heap pointers.
+	cl.ces = make([]CE, cfg.NumCE)
+	for i := range cl.ces {
+		cl.ces[i] = newCE(i, cfg)
 	}
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0x1F8))
-	for i := 0; i < cfg.NumIP; i++ {
-		cl.ips = append(cl.ips, newIP(i, rng.Uint64()))
+	cl.ips = make([]IP, cfg.NumIP)
+	for i := range cl.ips {
+		cl.ips[i] = newIP(i, rng.Uint64())
 	}
 	return cl
 }
@@ -78,7 +96,7 @@ func (cl *Cluster) Mem() *MemSystem { return cl.mem }
 func (cl *Cluster) CCBus() *CCB { return cl.ccb }
 
 // CE returns computational element i.
-func (cl *Cluster) CE(i int) *CE { return cl.ces[i] }
+func (cl *Cluster) CE(i int) *CE { return &cl.ces[i] }
 
 // Cycle returns the number of cycles executed.
 func (cl *Cluster) Cycle() uint64 { return cl.cycle }
@@ -105,8 +123,8 @@ func (cl *Cluster) Run(serial Stream, clusterSize int) error {
 	}
 	cl.clusterSize = clusterSize
 	cl.running = true
-	ce := cl.ces[0]
-	ce.reset()
+	ce := &cl.ces[0]
+	ce.reset(cl)
 	ce.mode = ceSerial
 	ce.stream = serial
 	return nil
@@ -126,7 +144,8 @@ func (cl *Cluster) Preempt() (serial Stream, ok bool) {
 	if !cl.running || cl.ccb.Running() {
 		return nil, false
 	}
-	for _, ce := range cl.ces {
+	for i := range cl.ces {
+		ce := &cl.ces[i]
 		if ce.mode == ceSerial {
 			s := ce.stream
 			if ce.hasCur {
@@ -138,7 +157,7 @@ func (cl *Cluster) Preempt() (serial Stream, ok bool) {
 					s,
 				}}
 			}
-			ce.reset()
+			ce.reset(cl)
 			cl.running = false
 			return s, true
 		}
@@ -150,11 +169,20 @@ func (cl *Cluster) Preempt() (serial Stream, ok bool) {
 // then the IPs.
 func (cl *Cluster) Step() {
 	cl.arbitrate()
-	for _, ce := range cl.ces {
+	for i := range cl.ces {
+		ce := &cl.ces[i]
+		// An idle CE with no loop to join does nothing in step:
+		// every transition into ceIdle leaves busOp at CEIdle, so
+		// skipping preserves the probe wires exactly.  The CCB state
+		// is re-read per CE because an earlier CE may start a loop
+		// this very cycle, which the rest must join immediately.
+		if ce.mode == ceIdle && !cl.ccb.running {
+			continue
+		}
 		ce.step(cl)
 	}
-	for _, ip := range cl.ips {
-		ip.step(cl)
+	for i := range cl.ips {
+		cl.ips[i].step(cl)
 	}
 	cl.cycle++
 }
@@ -171,20 +199,36 @@ func (cl *Cluster) StepN(n int) {
 // (cycles-waited + configured bias); aging guarantees progress while
 // the bias reproduces the machine's priority asymmetry.
 func (cl *Cluster) arbitrate() {
-	for i := range cl.capacity {
-		cl.capacity[i] = cl.cfg.LookupsPerModule
+	if cl.wantLookups == 0 {
+		return
 	}
+	// Scores (cycles waited + bias) are computed once while
+	// collecting requests, not per sort comparison.
+	var scores [trace.NumCE]int
 	reqs := cl.reqBuf[:0]
-	for _, ce := range cl.ces {
+	for i := range cl.ces {
+		ce := &cl.ces[i]
 		if ce.wantLookup && ce.stall == 0 && !ce.granted && ce.mode != ceIdle {
+			s := ce.waited
+			if cl.arbBias != nil {
+				s += cl.arbBias[ce.id]
+			}
+			scores[len(reqs)] = s
 			reqs = append(reqs, ce)
 		}
 	}
 	cl.reqBuf = reqs
+	if len(reqs) == 0 {
+		return
+	}
+	for i := range cl.capacity {
+		cl.capacity[i] = cl.lookupsCap
+	}
 	// Insertion sort by descending score; ties break by CE id for
 	// determinism.  At most NumCE entries.
 	for i := 1; i < len(reqs); i++ {
-		for j := i; j > 0 && cl.score(reqs[j]) > cl.score(reqs[j-1]); j-- {
+		for j := i; j > 0 && scores[j] > scores[j-1]; j-- {
+			scores[j], scores[j-1] = scores[j-1], scores[j]
 			reqs[j], reqs[j-1] = reqs[j-1], reqs[j]
 		}
 	}
@@ -197,19 +241,11 @@ func (cl *Cluster) arbitrate() {
 	}
 }
 
-func (cl *Cluster) score(ce *CE) int {
-	s := ce.waited
-	if cl.cfg.ArbBias != nil {
-		s += cl.cfg.ArbBias[ce.id]
-	}
-	return s
-}
-
 // ActiveCount returns the number of CEs currently active.
 func (cl *Cluster) ActiveCount() int {
 	n := 0
-	for _, ce := range cl.ces {
-		if ce.Active() {
+	for i := range cl.ces {
+		if cl.ces[i].Active() {
 			n++
 		}
 	}
@@ -225,12 +261,12 @@ func (cl *Cluster) Snapshot() trace.Record {
 		return r
 	}
 	now := cl.cycle - 1
-	for i, ce := range cl.ces {
+	for i := range cl.ces {
 		if i >= trace.NumCE {
 			break
 		}
-		r.CE[i] = ce.busOp
-		r.Active[i] = ce.Active()
+		r.CE[i] = cl.ces[i].busOp
+		r.Active[i] = cl.ces[i].Active()
 	}
 	for b := 0; b < cl.mem.NumBuses() && b < trace.NumMemBus; b++ {
 		r.Mem[b] = cl.mem.OpAt(b, now)
@@ -265,13 +301,14 @@ func (cl *Cluster) beginLoop(loop *Loop, ce *CE) {
 func (cl *Cluster) endLoop() {
 	last := cl.ccb.LastCE()
 	cl.ccb.Finish()
-	for _, ce := range cl.ces {
+	for i := range cl.ces {
+		ce := &cl.ces[i]
 		if ce.mode == ceBarrier || ce.mode == ceConc {
 			ce.mode = ceIdle
 			ce.stream = nil
 		}
 	}
-	ce := cl.ces[last]
+	ce := &cl.ces[last]
 	ce.mode = ceSerial
 	ce.stream = cl.serialStream
 	cl.serialStream = nil

@@ -75,6 +75,38 @@ func randomInstr(rng *rand.Rand) Instr {
 	}
 }
 
+// FuzzClusterPrograms is the native fuzz entry over the same program
+// space: the fuzzer drives the generator seed and resource class, so
+// the scheduled CI fuzz job (.github/workflows/fuzz.yml) explores
+// program shapes the fixed-seed trials above never reach.  Under
+// plain `go test` only the seed corpus runs.
+func FuzzClusterPrograms(f *testing.F) {
+	f.Add(uint64(0xF00D), uint8(8))
+	f.Add(uint64(1), uint8(1))
+	f.Add(uint64(0xBEEF), uint8(4))
+	f.Fuzz(func(t *testing.T, seed uint64, size uint8) {
+		rng := rand.New(rand.NewPCG(seed, 0xF2))
+		cl := New(quietConfig())
+		clusterSize := int(size%8) + 1
+		if err := cl.Run(randomProgram(rng), clusterSize); err != nil {
+			t.Fatal(err)
+		}
+		limit := 3_000_000
+		for i := 0; i < limit && !cl.Idle(); i++ {
+			cl.Step()
+		}
+		if !cl.Idle() {
+			t.Fatalf("seed %#x size %d wedged", seed, clusterSize)
+		}
+		if cl.ActiveCount() != 0 {
+			t.Fatalf("seed %#x left CEs active after completion", seed)
+		}
+		if cl.CCBus().Running() {
+			t.Fatalf("seed %#x left the CCB running", seed)
+		}
+	})
+}
+
 func TestRandomProgramsNeverWedge(t *testing.T) {
 	rng := rand.New(rand.NewPCG(0xF0, 0x0D))
 	for trial := 0; trial < 40; trial++ {

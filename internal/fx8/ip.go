@@ -1,8 +1,7 @@
 package fx8
 
 import (
-	"math/rand/v2"
-
+	"repro/internal/fastrand"
 	"repro/internal/trace"
 )
 
@@ -14,7 +13,7 @@ import (
 // model is a seeded stochastic traffic source.
 type IP struct {
 	id        int
-	rng       *rand.Rand
+	rng       fastrand.PCG
 	busyUntil uint64
 
 	// Statistics.
@@ -22,8 +21,8 @@ type IP struct {
 	Invalidations uint64
 }
 
-func newIP(id int, seed uint64) *IP {
-	return &IP{id: id, rng: rand.New(rand.NewPCG(seed, uint64(id)+0xA5))}
+func newIP(id int, seed uint64) IP {
+	return IP{id: id, rng: fastrand.New(seed, uint64(id)+0xA5)}
 }
 
 // memSpan is the modelled physical memory the IPs touch (the machine

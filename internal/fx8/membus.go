@@ -16,7 +16,24 @@ type MemSystem struct {
 }
 
 type busQueue struct {
-	segs []busSeg // FIFO of scheduled occupancy segments
+	// segs[head:] is the FIFO of live occupancy segments; the prefix
+	// below head is expired and its space is reused in place, so
+	// steady-state operation allocates nothing.
+	segs []busSeg
+	head int
+}
+
+// prune drops segments that ended at or before cycle.  OpAt queries
+// are non-decreasing and Enqueue is never called with an earlier now,
+// so a dropped segment can never be observed again.
+func (q *busQueue) prune(cycle uint64) {
+	for q.head < len(q.segs) && q.segs[q.head].end <= cycle {
+		q.head++
+	}
+	if q.head == len(q.segs) {
+		q.segs = q.segs[:0]
+		q.head = 0
+	}
 }
 
 type busSeg struct {
@@ -39,11 +56,22 @@ func (m *MemSystem) NumBuses() int { return len(m.buses) }
 // the transaction completes (exclusive).
 func (m *MemSystem) Enqueue(bus int, op trace.MemOp, dur int, now uint64) uint64 {
 	q := &m.buses[bus]
+	// Pruning here (not just in OpAt) keeps the queue bounded by the
+	// number of in-flight transactions even when no monitor ever calls
+	// OpAt.
+	q.prune(now)
 	start := now
-	if n := len(q.segs); n > 0 && q.segs[n-1].end > start {
+	if n := len(q.segs); n > q.head && q.segs[n-1].end > start {
 		start = q.segs[n-1].end
 	}
 	end := start + uint64(dur)
+	if q.head > 0 && len(q.segs) == cap(q.segs) {
+		// Compact so append reuses the expired prefix instead of
+		// growing the backing array.
+		n := copy(q.segs, q.segs[q.head:])
+		q.segs = q.segs[:n]
+		q.head = 0
+	}
 	q.segs = append(q.segs, busSeg{op: op, start: start, end: end})
 	m.Transactions++
 	m.BusyCycles += uint64(dur)
@@ -55,18 +83,19 @@ func (m *MemSystem) Enqueue(bus int, op trace.MemOp, dur int, now uint64) uint64
 // non-decreasing order per bus.
 func (m *MemSystem) OpAt(bus int, cycle uint64) trace.MemOp {
 	q := &m.buses[bus]
-	for len(q.segs) > 0 && q.segs[0].end <= cycle {
-		q.segs = q.segs[1:]
-	}
-	if len(q.segs) > 0 && q.segs[0].start <= cycle {
-		return q.segs[0].op
+	q.prune(cycle)
+	if q.head < len(q.segs) && q.segs[q.head].start <= cycle {
+		return q.segs[q.head].op
 	}
 	return trace.MemIdle
 }
 
 // QueueDepth returns the number of pending or in-flight transactions
 // on the bus.
-func (m *MemSystem) QueueDepth(bus int) int { return len(m.buses[bus].segs) }
+func (m *MemSystem) QueueDepth(bus int) int {
+	q := &m.buses[bus]
+	return len(q.segs) - q.head
+}
 
 // BusFor maps a cache module to its memory bus: module i uses bus
 // i mod buses, matching the FX/8's pairing of cache modules with

@@ -1,0 +1,55 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/concentrix"
+	"repro/internal/fx8"
+	"repro/internal/workload"
+)
+
+// Benchmarks for the measurement layer: the analyzer's per-cycle
+// observation and the controller's full sampling loop.  make bench
+// records them in BENCH_monitor.json for the CI regression gate.
+
+// benchSystem boots a small machine under the paper's workload mix —
+// what the controller steps while sampling.
+func benchSystem(seed uint64) *concentrix.System {
+	cfg := fx8.DefaultConfig()
+	cfg.Seed = seed
+	cl := fx8.New(cfg)
+	sys := concentrix.NewSystem(cl, concentrix.DefaultSysConfig())
+	for _, p := range workload.NewGenerator(workload.PaperMix(seed)).Session(50_000_000) {
+		sys.Submit(p)
+	}
+	return sys
+}
+
+// BenchmarkCollectSample measures one workload sample: snapshots
+// acquired through the analyzer plus the inter-snapshot stepping —
+// the unit the random-sampling sessions repeat.
+func BenchmarkCollectSample(b *testing.B) {
+	ctl := NewController(benchSystem(7))
+	spec := SampleSpec{Snapshots: 2, GapCycles: 2_000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl.CollectSample(spec)
+	}
+}
+
+// BenchmarkDASObserve measures the analyzer's per-cycle observation
+// in the storing state (immediate trigger), re-arming on each fill.
+func BenchmarkDASObserve(b *testing.B) {
+	d := NewDAS()
+	d.Arm(TriggerImmediate)
+	recs := randomRecords(4, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !d.Armed() {
+			d.Arm(TriggerImmediate)
+		}
+		d.Observe(recs[i&3])
+	}
+}

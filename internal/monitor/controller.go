@@ -24,28 +24,31 @@ func NewController(sys *concentrix.System) *Controller {
 // event counts and whether the acquisition completed (a triggered
 // acquisition may time out if the trigger condition never occurs).
 func (c *Controller) Acquire(mode TriggerMode, maxCycles int) (EventCounts, bool) {
-	c.DAS.Arm(mode)
-	for i := 0; i < maxCycles && c.DAS.Armed(); i++ {
-		c.Sys.Step()
-		c.DAS.Observe(c.Sys.Cluster.Snapshot())
-	}
-	if c.DAS.Armed() {
+	if !c.run(mode, maxCycles) {
 		// Timed out; discard the partial buffer.
 		return EventCounts{}, false
 	}
-	return Reduce(c.DAS.Transfer()), true
+	return c.DAS.ReduceBuffer(), true
+}
+
+// run arms the analyzer and steps the machine until the buffer fills
+// or maxCycles elapse, reporting completion.  The analyzer observes
+// through the probe fast path, so the machine only pays for a full
+// signal snapshot on the cycles the instrument stores a record.
+func (c *Controller) run(mode TriggerMode, maxCycles int) bool {
+	c.DAS.Arm(mode)
+	for i := 0; i < maxCycles && c.DAS.Armed(); i++ {
+		c.Sys.Step()
+		c.DAS.ObserveProbe(c.Sys.Cluster)
+	}
+	return !c.DAS.Armed()
 }
 
 // AcquireBuffer is Acquire returning the raw record buffer instead of
 // reduced counts, for record-level analyses such as the transition
 // study.
 func (c *Controller) AcquireBuffer(mode TriggerMode, maxCycles int) ([]trace.Record, bool) {
-	c.DAS.Arm(mode)
-	for i := 0; i < maxCycles && c.DAS.Armed(); i++ {
-		c.Sys.Step()
-		c.DAS.Observe(c.Sys.Cluster.Snapshot())
-	}
-	if c.DAS.Armed() {
+	if !c.run(mode, maxCycles) {
 		return nil, false
 	}
 	return c.DAS.Transfer(), true

@@ -108,30 +108,72 @@ func (d *DAS) Observe(r trace.Record) {
 	if !d.armed {
 		return
 	}
-	if !d.triggered {
-		n := r.ActiveCount()
-		switch d.mode {
-		case TriggerAll8:
-			if n == trace.NumCE {
-				d.triggered = true
-			}
-		case TriggerTransition:
-			if d.prevActive == trace.NumCE && n < trace.NumCE {
-				d.triggered = true
-			}
-		}
-		d.prevActive = n
-		if !d.triggered {
-			return
-		}
+	if !d.triggered && !d.watch(r.ActiveCount()) {
+		return
 	}
 	if d.phase == 0 {
-		d.buf = append(d.buf, r.Pack())
-		if len(d.buf) == d.depth {
-			d.armed = false
-			d.Acquisitions++
+		d.store(r)
+	}
+	d.tick()
+}
+
+// Probe is the machine-side view the analyzer's pods latch: the
+// activity count the trigger comparator watches, and the full signal
+// record when the record clock stores one.  ActiveCount must equal
+// Snapshot().ActiveCount(); fx8.Cluster satisfies both.
+type Probe interface {
+	ActiveCount() int
+	Snapshot() trace.Record
+}
+
+// ObserveProbe is Observe against a live machine: it latches only the
+// signals the analyzer actually inspects this cycle — the activity
+// bits while the comparator awaits its trigger, the full record on
+// record-clock ticks, and nothing between ticks — so the hot sampling
+// loop does not pay for a full probe snapshot on cycles the
+// instrument ignores.  It behaves identically to calling
+// Observe(p.Snapshot()) every cycle.
+func (d *DAS) ObserveProbe(p Probe) {
+	if !d.armed {
+		return
+	}
+	if !d.triggered && !d.watch(p.ActiveCount()) {
+		return
+	}
+	if d.phase == 0 {
+		d.store(p.Snapshot())
+	}
+	d.tick()
+}
+
+// watch runs the trigger comparator on one cycle's activity count and
+// reports whether the analyzer is (now) triggered.
+func (d *DAS) watch(n int) bool {
+	switch d.mode {
+	case TriggerAll8:
+		if n == trace.NumCE {
+			d.triggered = true
+		}
+	case TriggerTransition:
+		if d.prevActive == trace.NumCE && n < trace.NumCE {
+			d.triggered = true
 		}
 	}
+	d.prevActive = n
+	return d.triggered
+}
+
+// store packs one record into the buffer, disarming on fill.
+func (d *DAS) store(r trace.Record) {
+	d.buf = append(d.buf, r.Pack())
+	if len(d.buf) == d.depth {
+		d.armed = false
+		d.Acquisitions++
+	}
+}
+
+// tick advances the record clock one cycle.
+func (d *DAS) tick() {
 	d.phase++
 	if d.phase == d.every {
 		d.phase = 0
@@ -148,6 +190,17 @@ func (d *DAS) Transfer() []trace.Record {
 		out[i] = trace.Unpack(w)
 	}
 	return out
+}
+
+// ReduceBuffer reduces the acquired buffer straight from the packed
+// pod words — the counts Transfer+Reduce would produce, without
+// materializing the record slice.
+func (d *DAS) ReduceBuffer() EventCounts {
+	var e EventCounts
+	for _, w := range d.buf {
+		e.AddRecord(trace.Unpack(w))
+	}
+	return e
 }
 
 // Depth returns the configured buffer depth.

@@ -1,0 +1,108 @@
+package monitor
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// scriptProbe replays a fixed record sequence as a Probe; it counts
+// how often each accessor runs so tests can pin the fast path's
+// laziness.
+type scriptProbe struct {
+	recs          []trace.Record
+	pos           int
+	activeCalls   int
+	snapshotCalls int
+}
+
+func (p *scriptProbe) ActiveCount() int {
+	p.activeCalls++
+	return p.recs[p.pos].ActiveCount()
+}
+
+func (p *scriptProbe) Snapshot() trace.Record {
+	p.snapshotCalls++
+	return p.recs[p.pos]
+}
+
+// randomRecords builds a record sequence that exercises every trigger
+// mode: activity ramps to all-8 and falls back repeatedly.
+func randomRecords(n int, seed uint64) []trace.Record {
+	rng := rand.New(rand.NewPCG(seed, 7))
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		var r trace.Record
+		active := rng.IntN(trace.NumCE + 1)
+		for c := 0; c < active; c++ {
+			r.Active[c] = true
+			r.CE[c] = trace.CEOp(rng.IntN(int(trace.NumCEOps)))
+		}
+		for b := range r.Mem {
+			r.Mem[b] = trace.MemOp(rng.IntN(int(trace.NumMemOps)))
+		}
+		recs[i] = r
+	}
+	return recs
+}
+
+// TestObserveProbeMatchesObserve pins the probe fast path: for every
+// trigger mode, feeding the same cycle sequence through ObserveProbe
+// and through Observe must produce identical acquisitions.
+func TestObserveProbeMatchesObserve(t *testing.T) {
+	for _, mode := range []TriggerMode{TriggerImmediate, TriggerAll8, TriggerTransition} {
+		recs := randomRecords(5_000, 42+uint64(mode))
+
+		slow := NewDASDepth(64, 3)
+		slow.Arm(mode)
+		for _, r := range recs {
+			if !slow.Armed() {
+				break
+			}
+			slow.Observe(r)
+		}
+
+		fast := NewDASDepth(64, 3)
+		fast.Arm(mode)
+		probe := &scriptProbe{recs: recs}
+		for probe.pos = 0; probe.pos < len(recs) && fast.Armed(); probe.pos++ {
+			fast.ObserveProbe(probe)
+		}
+
+		if slow.Armed() != fast.Armed() {
+			t.Fatalf("mode %v: armed mismatch: observe=%v probe=%v", mode, slow.Armed(), fast.Armed())
+		}
+		a, b := slow.Transfer(), fast.Transfer()
+		if len(a) != len(b) {
+			t.Fatalf("mode %v: buffer lengths %d vs %d", mode, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("mode %v: record %d differs: %+v vs %+v", mode, i, a[i], b[i])
+			}
+		}
+		// The fast path must not have snapshotted more often than it
+		// stored records (that is its entire point).
+		if probe.snapshotCalls != len(b) {
+			t.Errorf("mode %v: %d snapshots for %d stored records", mode, probe.snapshotCalls, len(b))
+		}
+	}
+}
+
+// TestReduceBufferMatchesTransferReduce pins the alloc-free reduction
+// against the reference Transfer+Reduce composition.
+func TestReduceBufferMatchesTransferReduce(t *testing.T) {
+	d := NewDASDepth(128, 1)
+	d.Arm(TriggerImmediate)
+	for _, r := range randomRecords(128, 99) {
+		d.Observe(r)
+	}
+	if d.Armed() {
+		t.Fatal("buffer should have filled")
+	}
+	want := Reduce(d.Transfer())
+	if got := d.ReduceBuffer(); got != want {
+		t.Errorf("ReduceBuffer = %+v, want %+v", got, want)
+	}
+}

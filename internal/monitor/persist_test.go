@@ -55,6 +55,59 @@ func TestSessionTotals(t *testing.T) {
 	}
 }
 
+// TestSessionRoundTripPreservesReduction pins the full measurement
+// persistence path: acquisition buffers reduced to event counts,
+// written to disk, reloaded, and reduced again must yield the exact
+// waveform reduction of the original records — every counter of
+// every sample, and the file's totals.
+func TestSessionRoundTripPreservesReduction(t *testing.T) {
+	recs := randomRecords(3*BufferDepth, 0xDA5)
+	var samples []Sample
+	var want EventCounts
+	for i := 0; i < 3; i++ {
+		buf := recs[i*BufferDepth : (i+1)*BufferDepth]
+		counts := Reduce(buf)
+		want.Add(counts)
+		samples = append(samples, Sample{
+			Counts:     counts,
+			PageFaults: uint64(i * 11),
+			StartCycle: uint64(i * 1000),
+			EndCycle:   uint64(i*1000 + 512),
+			Complete:   true,
+		})
+	}
+
+	var disk bytes.Buffer
+	if err := WriteSession(&disk, TriggerTransition, 0xDA5, samples); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadSession(&disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Samples) != len(samples) {
+		t.Fatalf("samples = %d, want %d", len(f.Samples), len(samples))
+	}
+	for i := range samples {
+		if f.Samples[i] != samples[i] {
+			t.Errorf("sample %d changed across round trip:\n got %+v\nwant %+v",
+				i, f.Samples[i], samples[i])
+		}
+	}
+	if got := f.Totals(); got != want {
+		t.Errorf("reloaded totals differ from the original reduction:\n got %+v\nwant %+v", got, want)
+	}
+	// The reduction itself must be reproducible from the raw records
+	// — the property that makes persisting only reduced data safe.
+	var again EventCounts
+	for i := 0; i < 3; i++ {
+		again.Add(Reduce(recs[i*BufferDepth : (i+1)*BufferDepth]))
+	}
+	if again != want {
+		t.Error("re-reducing the raw records gave different counts")
+	}
+}
+
 func TestReadSessionRejectsBadVersion(t *testing.T) {
 	in := strings.NewReader(`{"version": 99, "mode": "immediate", "samples": []}`)
 	if _, err := ReadSession(in); err == nil {

@@ -1,0 +1,142 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const streamFixture = `{"Action":"start","Package":"repro"}
+{"Action":"output","Package":"repro","Output":"goos: linux\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkClusterStep-8   \t  123456\t      9876 ns/op\t     144 B/op\t       3 allocs/op\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkSession-8   \t     100\t  17807386 ns/op\t 1934659 B/op\t    4887 allocs/op\t   0.350 Cw\n"}
+{"Action":"output","Package":"repro","Output":"PASS\n"}
+{"Action":"pass","Package":"repro"}
+`
+
+func TestParseStream(t *testing.T) {
+	s, err := Parse(strings.NewReader(streamFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(s.Results))
+	}
+	r := s.Results[0]
+	if r.Name != "BenchmarkClusterStep" || r.Iterations != 123456 || r.NsPerOp != 9876 ||
+		r.BytesPerOp != 144 || r.AllocsPerOp != 3 {
+		t.Errorf("first result = %+v", r)
+	}
+	if s.Results[1].Metrics["Cw"] != 0.350 {
+		t.Errorf("custom metric lost: %+v", s.Results[1])
+	}
+}
+
+func TestParsePlainTextAndCountFolding(t *testing.T) {
+	text := `goos: linux
+BenchmarkX-16   	100	 2000 ns/op
+BenchmarkX-16   	100	 1500 ns/op
+BenchmarkX-16   	100	 1800 ns/op
+PASS
+`
+	s, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 1 {
+		t.Fatalf("results = %d, want 1 (folded)", len(s.Results))
+	}
+	if s.Results[0].Name != "BenchmarkX" || s.Results[0].NsPerOp != 1500 {
+		t.Errorf("folded result = %+v, want min ns/op 1500", s.Results[0])
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Parse(strings.NewReader(streamFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(s.Results) {
+		t.Fatalf("round trip lost results: %d vs %d", len(back.Results), len(s.Results))
+	}
+	for i := range s.Results {
+		a, b := s.Results[i], back.Results[i]
+		if a.Name != b.Name || a.NsPerOp != b.NsPerOp || a.AllocsPerOp != b.AllocsPerOp {
+			t.Errorf("result %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestParseRejectsUnknownVersion(t *testing.T) {
+	if _, err := Parse(strings.NewReader(`{"version": 99, "results": []}`)); err == nil {
+		t.Fatal("version 99 should be rejected")
+	}
+}
+
+func set(pairs ...any) Set {
+	s := Set{Version: setVersion}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		s.Results = append(s.Results, Result{Name: pairs[i].(string), NsPerOp: pairs[i+1].(float64), Iterations: 1})
+	}
+	return s
+}
+
+func TestCompareClassification(t *testing.T) {
+	oldSet := set("A", 1000.0, "B", 1000.0, "C", 1000.0, "D", 1000.0)
+	newSet := set("A", 1100.0, "B", 1200.0, "C", 700.0, "E", 50.0)
+	rep := Compare(oldSet, newSet, 0.15)
+
+	want := map[string]Status{
+		"A": StatusOK,         // +10% within 15%
+		"B": StatusRegression, // +20%
+		"C": StatusFaster,     // -30%
+		"D": StatusVanished,
+		"E": StatusNew,
+	}
+	if len(rep.Deltas) != len(want) {
+		t.Fatalf("deltas = %d, want %d", len(rep.Deltas), len(want))
+	}
+	for _, d := range rep.Deltas {
+		if want[d.Name] != d.Status {
+			t.Errorf("%s: status = %s, want %s", d.Name, d.Status, want[d.Name])
+		}
+	}
+
+	fails := rep.Failures(false)
+	if len(fails) != 2 {
+		t.Errorf("failures = %+v, want regression B and vanished D", fails)
+	}
+	fails = rep.Failures(true)
+	if len(fails) != 1 || fails[0].Name != "B" {
+		t.Errorf("failures(allowMissing) = %+v, want only B", fails)
+	}
+}
+
+func TestCompareExactThresholdPasses(t *testing.T) {
+	rep := Compare(set("A", 1000.0), set("A", 1150.0), 0.15)
+	if rep.Deltas[0].Status != StatusOK {
+		t.Errorf("exactly +15%% should pass, got %s", rep.Deltas[0].Status)
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":         "BenchmarkX",
+		"BenchmarkX-128":       "BenchmarkX",
+		"BenchmarkX/sub=2-8":   "BenchmarkX/sub=2",
+		"BenchmarkNoSuffix":    "BenchmarkNoSuffix",
+		"BenchmarkDash-suffix": "BenchmarkDash-suffix",
+	} {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

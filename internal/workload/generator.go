@@ -2,7 +2,7 @@ package workload
 
 import (
 	"fmt"
-	"math/rand/v2"
+	"repro/internal/fastrand"
 
 	"repro/internal/concentrix"
 	"repro/internal/fx8"
@@ -116,7 +116,7 @@ func PaperMix(seed uint64) Profile {
 // deterministically from the profile seed.
 type Generator struct {
 	prof Profile
-	rng  *rand.Rand
+	rng  fastrand.PCG
 	pid  int
 }
 
@@ -124,7 +124,7 @@ type Generator struct {
 func NewGenerator(prof Profile) *Generator {
 	return &Generator{
 		prof: prof,
-		rng:  rand.New(rand.NewPCG(prof.Seed, 0x90b)),
+		rng:  fastrand.New(prof.Seed, 0x90b),
 		pid:  1,
 	}
 }

@@ -14,8 +14,7 @@
 package workload
 
 import (
-	"math/rand/v2"
-
+	"repro/internal/fastrand"
 	"repro/internal/fx8"
 )
 
@@ -56,7 +55,7 @@ type SerialParams struct {
 // serialGen lazily generates a serial phase's instruction stream.
 type serialGen struct {
 	p    SerialParams
-	rng  *rand.Rand
+	rng  fastrand.PCG
 	left int
 	ipos uint32
 }
@@ -74,7 +73,7 @@ func NewSerialPhase(p SerialParams) fx8.Stream {
 	}
 	return &serialGen{
 		p:    p,
-		rng:  rand.New(rand.NewPCG(p.Seed, 0x5e71a1)),
+		rng:  fastrand.New(p.Seed, 0x5e71a1),
 		left: p.Instrs,
 	}
 }
@@ -172,7 +171,7 @@ func NewLoop(p LoopParams) *fx8.Loop {
 
 // buildBody materializes the instruction list of one iteration.
 func buildBody(p LoopParams, iter int) fx8.Stream {
-	rng := rand.New(rand.NewPCG(p.Seed, uint64(iter)+0xb0d9))
+	rng := fastrand.New(p.Seed, uint64(iter)+0xb0d9)
 	chunks := p.ChunksMean
 	if p.ChunksSpread > 0 {
 		chunks += rng.IntN(2*p.ChunksSpread+1) - p.ChunksSpread
