@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race bench ci
+.PHONY: all build fmt vet test race bench profile ci
 
 all: build
 
@@ -56,8 +56,24 @@ bench:
 	$(call bench_layer,BENCH_core.json,RunRandomSession|RunTriggeredSession,./internal/core,-benchtime 10x -count 2)
 	$(call bench_layer,BENCH_experiments.json,SweepPoint,./internal/experiments,-benchtime 5x -count 2)
 	$(call bench_layer,BENCH_service.json,ServiceStudy,./internal/service,-benchtime 20x -count 2)
-	$(call bench_layer,BENCH_study.json,RunStudy,./internal/core,-benchtime 1x -count 2)
+	$(call bench_layer,BENCH_study.json,RunStudy,./internal/core,-benchtime 1x -count 3)
 	@rm -f .bench.tmp
 	$(GO) run ./cmd/benchdiff -print BENCH_fx8.json BENCH_concentrix.json BENCH_monitor.json BENCH_core.json BENCH_experiments.json BENCH_service.json BENCH_study.json
+
+# profile records CPU and heap profiles of the session and study
+# benchmarks into profiles/ (gitignored), together with the test
+# binaries pprof needs to symbolize them.  See README "Profiling" for
+# the pprof workflow.
+profile:
+	mkdir -p profiles
+	$(GO) test -run '^$$' -bench 'RunRandomSession|RunTriggeredSession' -benchtime 30x \
+		-cpuprofile profiles/session.cpu.pprof -memprofile profiles/session.mem.pprof \
+		-o profiles/session.test ./internal/core
+	$(GO) test -run '^$$' -bench 'RunStudy/workers=max' -benchtime 1x \
+		-cpuprofile profiles/study.cpu.pprof -memprofile profiles/study.mem.pprof \
+		-o profiles/study.test ./internal/core
+	@echo "profiles written to profiles/; inspect with e.g."
+	@echo "  go tool pprof -top profiles/session.test profiles/session.cpu.pprof"
+	@echo "  go tool pprof -top -sample_index=alloc_objects profiles/session.test profiles/session.mem.pprof"
 
 ci: fmt vet build test race

@@ -16,6 +16,13 @@
 // benchmark (or a whole layer file) never fails the gate — every
 // benchmark is new once; a benchmark that vanishes from NEW fails
 // unless -allow-missing is given.
+//
+// Custom b.ReportMetric values (e.g. the study benchmark's speedup-x
+// scaling ratio) appear in -print summaries on their benchmark's row
+// and in comparisons as indented movement sub-rows; they inform but
+// never gate, because a custom metric has no universal better
+// direction.  -print also closes each set with a geomean ns/op line,
+// the single number that tracks a layer's overall drift.
 package main
 
 import (

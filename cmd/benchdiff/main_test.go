@@ -143,3 +143,54 @@ func TestThresholdParsing(t *testing.T) {
 		t.Error("bad threshold should error")
 	}
 }
+
+func TestPrintShowsMetricsAndGeomean(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "BENCH_study.json")
+	s := perf.Set{Results: []perf.Result{
+		{Name: "BenchmarkRunStudy/workers=1", NsPerOp: 900_000_000, Iterations: 2},
+		{Name: "BenchmarkRunStudy/workers=max", NsPerOp: 280_000_000, Iterations: 2,
+			Metrics: map[string]float64{"speedup-x": 3.21}},
+	}}
+	if err := s.WriteFile(f); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-print", f}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "speedup-x") {
+		t.Errorf("-print omits custom metric:\n%s", out)
+	}
+	if !strings.Contains(out, "geomean") {
+		t.Errorf("-print omits geomean line:\n%s", out)
+	}
+}
+
+func TestCompareShowsMetricMovement(t *testing.T) {
+	dir := t.TempDir()
+	oldF := filepath.Join(dir, "old.json")
+	newF := filepath.Join(dir, "new.json")
+	old := perf.Set{Results: []perf.Result{
+		{Name: "BenchmarkRunStudy/workers=max", NsPerOp: 900, Iterations: 2,
+			Metrics: map[string]float64{"speedup-x": 1.0}},
+	}}
+	cur := perf.Set{Results: []perf.Result{
+		{Name: "BenchmarkRunStudy/workers=max", NsPerOp: 850, Iterations: 2,
+			Metrics: map[string]float64{"speedup-x": 3.4}},
+	}}
+	if err := old.WriteFile(oldF); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.WriteFile(newF); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{oldF, newF}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "metric speedup-x") {
+		t.Errorf("compare output omits metric movement:\n%s", buf.String())
+	}
+}

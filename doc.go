@@ -16,6 +16,17 @@
 // experiments Sweep*Workers variants expose the knob; the cmd tools
 // surface it as -workers (default: one worker per CPU).
 //
+// The session lifecycle is allocation-free after warm-up: each worker
+// rebuilds its session in place on a pooled core.SessionArena —
+// Reset()-style reuse of the cluster, OS, analyzer and workload
+// generator, with concurrent-loop bodies regenerated into per-CE
+// buffers (fx8.Loop.BodyInto) — rather than booting fresh state.
+// Reuse is bit-exact, and removing the shared allocator/GC traffic is
+// what lets the embarrassingly-parallel campaign actually scale with
+// workers.  engine.MapWith threads explicit per-worker state through
+// the pool (one state per goroutine, never shared; see the engine
+// package docs for the contract).
+//
 // Completed campaigns flow through a two-tier cache
 // (core.StudyCache): an in-process memo (bounded, FIFO-evicted) in
 // front of an optional content-addressed on-disk store

@@ -109,6 +109,15 @@ func (v *VM) SetCurrent(p *Process) {
 	v.lastOK = false
 }
 
+// Reset detaches the hook from any process, clears the residency memo
+// and installs a (possibly new) fault service time.  The page size —
+// a property of the cluster the hook is mounted on — is kept.
+func (v *VM) Reset(faultCycles int) {
+	v.current = nil
+	v.lastOK = false
+	v.faultCycles = faultCycles
+}
+
 // Touch implements fx8.MMU.
 func (v *VM) Touch(ce int, addr uint32) int {
 	if v.current == nil || v.current.Space == nil {

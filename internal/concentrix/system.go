@@ -62,6 +62,23 @@ func NewSystem(cl *fx8.Cluster, cfg SysConfig) *System {
 	return &System{Cluster: cl, Kernel: k, VM: vm, cfg: cfg}
 }
 
+// Reset returns the system to the state NewSystem would produce over
+// the same (already reset) cluster, reusing the queue arrays, the
+// kernel and the VM hook.  cfg replaces the scheduling configuration,
+// so one reused system can serve sweep points that vary OS parameters.
+// Submitted and running jobs are dropped; kernel counters and the VM
+// residency memo are cleared.
+func (s *System) Reset(cfg SysConfig) {
+	s.cfg = cfg
+	s.pending = s.pending[:0]
+	s.runq = s.runq[:0]
+	s.current = nil
+	s.sliceLeft = 0
+	s.IdleCycles = 0
+	*s.Kernel = Kernel{}
+	s.VM.Reset(cfg.FaultCycles)
+}
+
 // Submit queues a job for execution at its arrival time.  Jobs without
 // an address space get one at the configured resident limit.
 func (s *System) Submit(p *Process) {

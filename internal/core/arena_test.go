@@ -1,0 +1,241 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/concentrix"
+	"repro/internal/fx8"
+	"repro/internal/monitor"
+	"repro/internal/workload"
+)
+
+// freshRandomSession runs a random session the pre-arena way: every
+// piece of simulator state newly allocated, nothing reused.  The
+// reuse tests compare arena output against this reference.
+func freshRandomSession(id int, spec SessionSpec) *Session {
+	span := spec.WorkloadCycles
+	if span == 0 {
+		span = spec.span()
+	}
+	return SampleSystem(NewSystem(workload.PaperMix(spec.Seed), span), id, spec)
+}
+
+func freshTriggeredSession(id int, spec TriggeredSpec) *TriggeredSession {
+	return TriggerSystem(NewSystem(workload.PaperMix(spec.Seed), spec.WorkloadCycles), id, spec)
+}
+
+// TestArenaReuseBitIdentical is the session-reuse determinism test:
+// a session run in a dirty arena — one that has already executed a
+// different session, of either kind — must equal the same session on
+// freshly allocated state, field for field.
+func TestArenaReuseBitIdentical(t *testing.T) {
+	t.Parallel()
+	spec := SessionSpec{
+		Samples:  3,
+		Sampling: monitor.SampleSpec{Snapshots: 2, GapCycles: 3_000},
+		Seed:     77,
+	}
+	tspec := TriggeredSpec{
+		Mode:           monitor.TriggerAll8,
+		Samples:        2,
+		Buffers:        2,
+		BudgetCycles:   60_000,
+		Seed:           78,
+		WorkloadCycles: 400_000,
+	}
+	want := freshRandomSession(1, spec)
+	twant := freshTriggeredSession(2, tspec)
+
+	a := NewSessionArena()
+	// Dirty the arena with other sessions (different seeds and
+	// session kinds), then rerun the reference specs in place.
+	other := spec
+	other.Seed = 999
+	a.RunRandomSession(9, other)
+	a.RunTriggeredSession(9, tspec)
+	a.RunRandomSession(9, other)
+
+	if got := a.RunRandomSession(1, spec); !reflect.DeepEqual(got, want) {
+		t.Error("random session in a dirty arena diverges from fresh allocation")
+	}
+	if got := a.RunTriggeredSession(2, tspec); !reflect.DeepEqual(got, twant) {
+		t.Error("triggered session in a dirty arena diverges from fresh allocation")
+	}
+}
+
+// TestArenaStudyByteIdentical runs the same campaign twice through
+// the pooled session lifecycle — the second pass entirely on reused
+// arenas — and asserts the canonical Study JSON is byte-identical to
+// both the first pass and a fresh-allocation reduction of the same
+// units.
+func TestArenaStudyByteIdentical(t *testing.T) {
+	t.Parallel()
+	cfg := tinyConfig()
+	cfg.BaseSeed = 31337 // private seed space: do not share pool warmth semantics with other tests
+
+	first := RunStudyWorkers(cfg, 2)
+	second := RunStudyWorkers(cfg, 2)
+	e1, err := EncodeStudy(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := EncodeStudy(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(e1, e2) {
+		t.Fatal("second (arena-warm) campaign run is not byte-identical to the first")
+	}
+
+	// Fresh-allocation reference: the same units computed without any
+	// arena, through the exported pre-arena primitives.
+	units := cfg.Units()
+	results := make([]StudyUnitResult, len(units))
+	for i, u := range units {
+		switch {
+		case u.Random != nil:
+			results[i] = StudyUnitResult{Random: freshRandomSession(u.ID, *u.Random)}
+		case u.Triggered != nil:
+			results[i] = StudyUnitResult{Triggered: freshTriggeredSession(u.ID, *u.Triggered)}
+		}
+	}
+	for i, res := range results {
+		var got, want any
+		if units[i].Random != nil {
+			got, want = res.Random, first.Random[i]
+		} else {
+			j := i - cfg.RandomSessions
+			if j < cfg.HighConcSessions {
+				got, want = res.Triggered, first.HighConc[j]
+			} else {
+				got, want = res.Triggered, first.Transition[j-cfg.HighConcSessions]
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("unit %d: pooled campaign session diverges from fresh allocation", i)
+		}
+	}
+}
+
+// TestArenaCustomConfigRebuild: an arena asked for a different
+// machine configuration rebuilds, then resets in place again once the
+// configuration repeats — and both transitions are invisible in the
+// output.
+func TestArenaCustomConfigRebuild(t *testing.T) {
+	t.Parallel()
+	spec := SessionSpec{
+		Samples:        2,
+		Sampling:       monitor.SampleSpec{Snapshots: 2, GapCycles: 3_000},
+		Seed:           5,
+		WorkloadCycles: 100_000,
+	}
+	sysCfg := concentrix.DefaultSysConfig()
+	wantDefault := RunCustomSession(fx8.DefaultConfig(), sysCfg, 1, spec)
+	wantFX4 := RunCustomSession(fx8.FX4Config(), sysCfg, 1, spec)
+
+	a := NewSessionArena()
+	for pass := 0; pass < 2; pass++ {
+		if got := a.RunCustomSession(fx8.DefaultConfig(), sysCfg, 1, spec); !reflect.DeepEqual(got, wantDefault) {
+			t.Errorf("pass %d: default-config session diverges after config churn", pass)
+		}
+		if got := a.RunCustomSession(fx8.FX4Config(), sysCfg, 1, spec); !reflect.DeepEqual(got, wantFX4) {
+			t.Errorf("pass %d: FX4 session diverges after config churn", pass)
+		}
+	}
+
+	// Varying only OS parameters must reset in place (same machine)
+	// and still match a fresh run.
+	fast := sysCfg
+	fast.TimeSlice = 50_000
+	wantFast := SampleSystem(func() *concentrix.System {
+		cfg := fx8.DefaultConfig()
+		cfg.Seed = spec.Seed
+		cl := fx8.New(cfg)
+		sys := concentrix.NewSystem(cl, fast)
+		for _, p := range workload.NewGenerator(workload.PaperMix(spec.Seed)).Session(spec.WorkloadCycles) {
+			sys.Submit(p)
+		}
+		return sys
+	}(), 1, spec)
+	a.RunCustomSession(fx8.DefaultConfig(), sysCfg, 1, spec)
+	if got := a.RunCustomSession(fx8.DefaultConfig(), fast, 1, spec); !reflect.DeepEqual(got, wantFast) {
+		t.Error("OS-parameter-only change diverges from fresh run")
+	}
+}
+
+// TestComparableConfigCoversConfig guards sameHardware against
+// fx8.Config drift: every Config field must be either mirrored in
+// comparableConfig (scalars) or in the explicit non-scalar list the
+// comparison handles separately.  A field added to fx8.Config without
+// updating scalars() would otherwise be silently ignored, making the
+// arena reuse a machine built with a different value of it.
+func TestComparableConfigCoversConfig(t *testing.T) {
+	t.Parallel()
+	handled := map[string]bool{
+		"Seed":             true, // replaced by Reset, deliberately ignored
+		"ArbBias":          true, // compared with slices.Equal
+		"CCBDispatchExtra": true, // compared with slices.Equal
+	}
+	cc := reflect.TypeOf(comparableConfig{})
+	ccFields := map[string]reflect.Type{}
+	for i := 0; i < cc.NumField(); i++ {
+		ccFields[cc.Field(i).Name] = cc.Field(i).Type
+	}
+	cfg := reflect.TypeOf(fx8.Config{})
+	for i := 0; i < cfg.NumField(); i++ {
+		f := cfg.Field(i)
+		if handled[f.Name] {
+			continue
+		}
+		typ, ok := ccFields[f.Name]
+		if !ok {
+			t.Errorf("fx8.Config field %s is not mirrored in comparableConfig: sameHardware would ignore it", f.Name)
+			continue
+		}
+		if typ != f.Type {
+			t.Errorf("comparableConfig field %s has type %v, fx8.Config has %v", f.Name, typ, f.Type)
+		}
+	}
+	if cc.NumField() != cfg.NumField()-len(handled) {
+		t.Errorf("comparableConfig has %d fields, want %d (Config fields minus %d handled separately)",
+			cc.NumField(), cfg.NumField()-len(handled), len(handled))
+	}
+}
+
+// TestArenaSurvivesBootPanic: a Boot that panics on an invalid
+// configuration must leave the arena coherent, because the pooled
+// entry points release the arena during unwinding and a later caller
+// (e.g. an HTTP handler that recovered the panic) will reuse it.
+func TestArenaSurvivesBootPanic(t *testing.T) {
+	t.Parallel()
+	spec := SessionSpec{
+		Samples:        2,
+		Sampling:       monitor.SampleSpec{Snapshots: 2, GapCycles: 3_000},
+		Seed:           5,
+		WorkloadCycles: 100_000,
+	}
+	sysCfg := concentrix.DefaultSysConfig()
+	want := RunCustomSession(fx8.DefaultConfig(), sysCfg, 1, spec)
+
+	a := NewSessionArena()
+	a.RunCustomSession(fx8.DefaultConfig(), sysCfg, 1, spec) // warm
+
+	bad := fx8.DefaultConfig()
+	bad.NumCE = 99 // fails Validate: fx8.New panics
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("invalid config did not panic")
+			}
+		}()
+		a.RunCustomSession(bad, sysCfg, 1, spec)
+	}()
+
+	// The arena must still describe the machine it actually holds:
+	// the same session reruns bit-identically on the reuse path.
+	if got := a.RunCustomSession(fx8.DefaultConfig(), sysCfg, 1, spec); !reflect.DeepEqual(got, want) {
+		t.Error("arena poisoned by a panicking Boot: post-panic session diverges")
+	}
+}

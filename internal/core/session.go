@@ -70,21 +70,28 @@ func NewSystem(profile workload.Profile, span uint64) *concentrix.System {
 	return sys
 }
 
-// RunRandomSession performs one random-sampling session: a fresh
-// system under the PaperMix workload, sampled spec.Samples times.
+// RunRandomSession performs one random-sampling session: a
+// freshly-reset machine under the PaperMix workload, sampled
+// spec.Samples times.  The machine comes from the process-wide arena
+// pool, so after warm-up the session boots without heap allocation;
+// the result is bit-identical to a session on a newly allocated
+// machine.
 func RunRandomSession(id int, spec SessionSpec) *Session {
-	span := spec.WorkloadCycles
-	if span == 0 {
-		span = spec.span()
-	}
-	sys := NewSystem(workload.PaperMix(spec.Seed), span)
-	return SampleSystem(sys, id, spec)
+	a := acquireArena()
+	defer releaseArena(a)
+	return a.RunRandomSession(id, spec)
 }
 
 // SampleSystem runs the sampling schedule of spec against an existing
 // system (exported so callers can measure custom workloads).
 func SampleSystem(sys *concentrix.System, id int, spec SessionSpec) *Session {
-	ctl := monitor.NewController(sys)
+	return sampleWith(monitor.NewController(sys), id, spec)
+}
+
+// sampleWith is SampleSystem on a caller-owned (possibly reused)
+// controller.
+func sampleWith(ctl *monitor.Controller, id int, spec SessionSpec) *Session {
+	sys := ctl.Sys
 	ses := &Session{ID: id}
 	faults0 := sys.Kernel.PageFaults()
 	for i := 0; i < spec.Samples; i++ {
@@ -150,17 +157,25 @@ type TriggeredSession struct {
 	Timeouts int
 }
 
-// RunTriggeredSession performs one triggered session on a fresh
-// system.
+// RunTriggeredSession performs one triggered session on a
+// freshly-reset pooled machine (see RunRandomSession for the reuse
+// contract).
 func RunTriggeredSession(id int, spec TriggeredSpec) *TriggeredSession {
-	sys := NewSystem(workload.PaperMix(spec.Seed), spec.WorkloadCycles)
-	return TriggerSystem(sys, id, spec)
+	a := acquireArena()
+	defer releaseArena(a)
+	return a.RunTriggeredSession(id, spec)
 }
 
 // TriggerSystem runs a triggered acquisition schedule against an
 // existing system.
 func TriggerSystem(sys *concentrix.System, id int, spec TriggeredSpec) *TriggeredSession {
-	ctl := monitor.NewController(sys)
+	return triggerWith(monitor.NewController(sys), id, spec)
+}
+
+// triggerWith is TriggerSystem on a caller-owned (possibly reused)
+// controller.
+func triggerWith(ctl *monitor.Controller, id int, spec TriggeredSpec) *TriggeredSession {
+	sys := ctl.Sys
 	ts := &TriggeredSession{ID: id, Mode: spec.Mode}
 	for s := 0; s < spec.Samples; s++ {
 		var sample monitor.Sample

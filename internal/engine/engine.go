@@ -9,6 +9,23 @@
 // and shares no state with any other session.  The engine exploits
 // exactly that shape; it makes no attempt to parallelize within a
 // session, where cycle-by-cycle ordering is the whole point.
+//
+// # Per-worker state
+//
+// Every Map variant runs on one pool of exactly min(workers, n)
+// goroutines pulling unit indices from a shared atomic counter —
+// never a goroutine per unit — so a worker is a stable home for
+// scratch that is expensive to build and unsafe to share.  The
+// contract has three clauses: (1) state is created once per worker,
+// on the worker's goroutine, and is never touched by two units
+// concurrently; (2) fn owns the state only for the duration of one
+// call and must not retain it; (3) the result of a unit must be a
+// pure function of its index — state is scratch, never input — which
+// is what keeps output identical across worker counts.  MapWith
+// threads such state explicitly; code whose scratch should outlive
+// one Map call (core's session arenas) uses a sync.Pool instead,
+// which degenerates to the same per-worker ownership under a pool
+// because each goroutine re-Gets the arena it just Put.
 package engine
 
 import (
@@ -44,6 +61,22 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	return MapProgress(workers, n, fn, nil)
 }
 
+// MapWith is Map with per-worker state: each worker goroutine calls
+// newState exactly once and threads the returned value through every
+// unit it runs, so S can hold scratch that is expensive to build and
+// unsafe to share — a simulator arena, a decode buffer, a local RNG.
+// newState runs on the worker goroutine; fn(s, i) owns s for the
+// duration of the call and must not retain it past returning.  States
+// are never shared between workers, never used concurrently, and are
+// dropped when the pool drains (put long-lived scratch in a sync.Pool
+// instead if it should outlive the call).  For every worker count the
+// output is out[i] = fn(·, i) in index order; determinism therefore
+// requires fn's result to be independent of which state runs it —
+// state must be scratch, not input.
+func MapWith[S, T any](workers, n int, newState func() S, fn func(s S, i int) T) []T {
+	return mapPool(workers, n, newState, fn, nil)
+}
+
 // MapProgress is Map with a completion callback: after each unit
 // finishes, progress(done, n) is invoked with the number of completed
 // units so far.  The callback runs on worker goroutines (possibly
@@ -56,14 +89,27 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 // reports n — callers observing a panic must not expect a final
 // full-count call.
 func MapProgress[T any](workers, n int, fn func(i int) T, progress func(done, total int)) []T {
+	return mapPool(workers, n, func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) T { return fn(i) }, progress)
+}
+
+// mapPool is the one worker pool behind Map, MapWith and MapProgress:
+// exactly min(workers, n) goroutines are started (never one per unit)
+// and each pulls unit indices from a shared atomic counter until the
+// units are exhausted, building its per-worker state once on the way
+// in.  The only cross-worker synchronization on the unit path is that
+// counter (plus the optional progress counter), so workers running
+// allocation-free units share nothing that serializes them.
+func mapPool[S, T any](workers, n int, newState func() S, fn func(s S, i int) T, progress func(done, total int)) []T {
 	if n <= 0 {
 		return nil
 	}
 	out := make([]T, n)
 	workers = clamp(workers, n)
 	if workers == 1 {
+		s := newState()
 		for i := range out {
-			out[i] = fn(i)
+			out[i] = fn(s, i)
 			if progress != nil {
 				progress(i+1, n)
 			}
@@ -81,6 +127,7 @@ func MapProgress[T any](workers, n int, fn func(i int) T, progress func(done, to
 	for g := 0; g < workers; g++ {
 		go func() {
 			defer wg.Done()
+			s := newState()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || panicked.Load() != nil {
@@ -92,7 +139,7 @@ func MapProgress[T any](workers, n int, fn func(i int) T, progress func(done, to
 							panicked.CompareAndSwap(nil, &r)
 						}
 					}()
-					out[i] = fn(i)
+					out[i] = fn(s, i)
 					return true
 				}()
 				// A panicked unit is not counted, so done can never

@@ -427,3 +427,89 @@ func TestMemoKeysIndependent(t *testing.T) {
 	close(release)
 	<-done
 }
+
+// TestMapWithOneStatePerWorker pins the pool shape satellite: MapWith
+// builds exactly min(workers, n) states — one per pool goroutine,
+// never one per unit — which is only possible if the pool starts a
+// bounded number of goroutines that each loop over units.
+func TestMapWithOneStatePerWorker(t *testing.T) {
+	for _, tc := range []struct{ workers, n, want int }{
+		{4, 100, 4},
+		{8, 3, 3},
+		{1, 50, 1},
+	} {
+		var states atomic.Int32
+		got := MapWith(tc.workers, tc.n, func() int {
+			return int(states.Add(1))
+		}, func(s, i int) int {
+			if s < 1 || s > tc.want {
+				t.Errorf("unit %d ran with state %d, want 1..%d", i, s, tc.want)
+			}
+			return i
+		})
+		if int(states.Load()) != tc.want {
+			t.Errorf("workers=%d n=%d: newState called %d times, want %d",
+				tc.workers, tc.n, states.Load(), tc.want)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("out[%d] = %d", i, v)
+			}
+		}
+	}
+}
+
+// mutableState is per-worker scratch that would race if two units
+// ever shared it concurrently: units mutate it without any
+// synchronization, so `go test -race` proves the isolation contract.
+type mutableState struct {
+	units int
+	sum   int
+}
+
+// TestMapWithStateIsolation runs many quick units over few workers
+// and checks, under the race detector, that per-worker state is never
+// mutated concurrently and that every unit ran on exactly one state.
+func TestMapWithStateIsolation(t *testing.T) {
+	const workers, n = 4, 400
+	var mu sync.Mutex
+	var states []*mutableState
+	MapWith(workers, n, func() *mutableState {
+		s := &mutableState{}
+		mu.Lock()
+		states = append(states, s)
+		mu.Unlock()
+		return s
+	}, func(s *mutableState, i int) int {
+		s.units++ // unsynchronized on purpose: -race enforces ownership
+		s.sum += i
+		return i
+	})
+	totalUnits, totalSum := 0, 0
+	for _, s := range states {
+		totalUnits += s.units
+		totalSum += s.sum
+	}
+	if totalUnits != n {
+		t.Errorf("states saw %d units, want %d", totalUnits, n)
+	}
+	if want := n * (n - 1) / 2; totalSum != want {
+		t.Errorf("states saw index sum %d, want %d", totalSum, want)
+	}
+}
+
+// TestMapWithPanicPropagates: MapWith shares the pool's panic
+// contract with Map.
+func TestMapWithPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("panic did not propagate")
+		}
+	}()
+	MapWith(4, 20, func() int { return 0 }, func(s, i int) int {
+		if i == 7 {
+			panic("unit 7")
+		}
+		return i
+	})
+}

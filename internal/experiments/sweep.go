@@ -11,7 +11,6 @@ import (
 	"repro/internal/fx8"
 	"repro/internal/monitor"
 	"repro/internal/sas"
-	"repro/internal/workload"
 )
 
 // Parameter sweeps: the study's conclusion singles out "the
@@ -31,21 +30,19 @@ type SweepPoint struct {
 	Faults   uint64
 }
 
-// sweepSession measures one session on a machine + OS configuration.
+// sweepSession measures one session on a machine + OS configuration,
+// drawing a pooled session arena so consecutive points on one worker
+// reuse simulator state (a point that changes the hardware
+// configuration rebuilds the machine; one that only changes OS or
+// seed parameters resets it in place).
 func sweepSession(cfg fx8.Config, sysCfg concentrix.SysConfig, seed uint64, samples int) SweepPoint {
-	cfg.Seed = seed
-	cl := fx8.New(cfg)
-	sys := concentrix.NewSystem(cl, sysCfg)
 	spec := core.SessionSpec{
-		Samples:  samples,
-		Sampling: monitor.SampleSpec{Snapshots: 5, GapCycles: 20_000},
-		Seed:     seed,
+		Samples:        samples,
+		Sampling:       monitor.SampleSpec{Snapshots: 5, GapCycles: 20_000},
+		Seed:           seed,
+		WorkloadCycles: uint64(samples) * 5 * uint64(20_000+monitor.BufferDepth*monitor.Timebase),
 	}
-	span := uint64(samples) * 5 * uint64(20_000+monitor.BufferDepth*monitor.Timebase)
-	for _, p := range workload.NewGenerator(workload.PaperMix(seed)).Session(span) {
-		sys.Submit(p)
-	}
-	ses := core.SampleSystem(sys, 1, spec)
+	ses := core.RunCustomSession(cfg, sysCfg, 1, spec)
 	m := core.MeasuresFromCounts(ses.Total)
 	return SweepPoint{
 		Cw:       m.Cw,

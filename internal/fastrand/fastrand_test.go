@@ -23,7 +23,11 @@ func TestMatchesRandV2(t *testing.T) {
 		// The moduli the IP model and workload generator actually
 		// roll, plus edge cases: powers of two, 1, and a modulus
 		// large enough to make the rejection threshold nontrivial.
-		moduli := []int{1000, 4, 2, 1, 7, 3, 1 << 20, (1 << 62) + 12345}
+		// The large modulus goes through a variable so the conversion
+		// happens at run time (after the 32-bit skip above); a
+		// constant literal would fail to compile on 386.
+		bigMod := uint64(1)<<62 + 12345
+		moduli := []int{1000, 4, 2, 1, 7, 3, 1 << 20, int(bigMod)}
 		for i := 0; i < 300_000; i++ {
 			switch i % 4 {
 			case 0:

@@ -166,6 +166,15 @@ func (c *SharedCache) Flush() {
 	}
 }
 
+// Reset returns the cache to its just-constructed state — every line
+// invalid, statistics and the LRU clock zeroed — reusing the line
+// array.
+func (c *SharedCache) Reset() {
+	c.Flush()
+	c.lruStamp = 0
+	c.Hits, c.Misses, c.WriteBacks, c.Invalidations = 0, 0, 0, 0
+}
+
 // MissRatio returns misses/(hits+misses), or 0 before any access.
 func (c *SharedCache) MissRatio() float64 {
 	t := c.Hits + c.Misses

@@ -33,6 +33,18 @@ func NewCCB() *CCB {
 // Running reports whether a concurrent loop is in progress.
 func (b *CCB) Running() bool { return b.running }
 
+// Reset returns the bus to its just-constructed idle state, zeroing
+// the statistics and reusing the pending set.
+func (b *CCB) Reset() {
+	b.running = false
+	b.loop = nil
+	b.trips, b.next, b.completed = 0, 0, 0
+	b.lastCE = -1
+	b.watermark = 0
+	clear(b.pending)
+	b.LoopsStarted, b.IterationsRun, b.AdvanceOps = 0, 0, 0
+}
+
 // Start broadcasts a concurrent loop.  Starting while a loop is
 // running indicates nested concurrency, which the cluster does not
 // support (matching the FX/8's single outer concurrent loop).

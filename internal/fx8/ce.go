@@ -59,6 +59,12 @@ type CE struct {
 	stall      int
 	awaitStage int
 
+	// bodyBuf is the CE's private loop-body buffer: loops built with
+	// BodyInto materialize each self-scheduled iteration here, reusing
+	// the backing array, so iteration dispatch allocates nothing after
+	// the first few iterations grow it to the largest body seen.
+	bodyBuf SliceStream
+
 	// busOp is the opcode driven on this CE's bus in the cycle just
 	// executed — the wire the monitor probes.
 	busOp trace.CEOp
@@ -391,11 +397,36 @@ func (ce *CE) streamEnded(cl *Cluster) {
 // costs one cycle plus the CE's position-dependent daisy-chain
 // latency.
 func (ce *CE) beginIteration(cl *Cluster, iter int) {
-	ce.iter = iter
-	ce.stream = cl.ccb.loop.Body(iter)
+	ce.installBody(cl.ccb.loop, iter)
 	ce.mode = ceConc
 	ce.stall = 1
 	if cl.cfg.CCBDispatchExtra != nil {
 		ce.stall += cl.cfg.CCBDispatchExtra[ce.id]
 	}
+}
+
+// installBody points the CE's stream at the body of iteration iter:
+// into the CE's private reusable buffer when the loop provides
+// BodyInto, through the allocating Body callback otherwise.
+func (ce *CE) installBody(loop *Loop, iter int) {
+	ce.iter = iter
+	if loop.BodyInto != nil {
+		ce.bodyBuf.Instrs = ce.bodyBuf.Instrs[:0]
+		ce.bodyBuf.pos = 0
+		loop.BodyInto(iter, &ce.bodyBuf)
+		ce.stream = &ce.bodyBuf
+		return
+	}
+	ce.stream = loop.Body(iter)
+}
+
+// hardReset returns the CE to its just-constructed state — idle, no
+// statistics, instruction cache invalid — while keeping the
+// allocations that survive a session: the icache arrays and the
+// loop-body buffer's backing array.
+func (ce *CE) hardReset() {
+	id, ic, body := ce.id, ce.icache, ce.bodyBuf.Instrs[:0]
+	*ce = CE{id: id, icache: ic}
+	ce.bodyBuf.Instrs = body
+	ic.reset()
 }

@@ -83,6 +83,34 @@ func New(cfg Config) *Cluster {
 	return cl
 }
 
+// Reset returns the cluster to the state New(cfg) would produce with
+// cfg.Seed = seed, reusing every allocation — the CE and IP slices,
+// the cache line arrays, the bus queues, the CCB and the arbitration
+// scratch — so a worker can rebuild a session's machine in place
+// instead of booting a fresh cluster.  The installed MMU hook is
+// kept.  Execution after Reset is bit-identical to execution on a
+// freshly constructed cluster with the same configuration and seed.
+func (cl *Cluster) Reset(seed uint64) {
+	cl.cfg.Seed = seed
+	cl.cycle = 0
+	cl.serialStream = nil
+	cl.clusterSize = 0
+	cl.running = false
+	cl.wantLookups = 0
+	cl.reqBuf = cl.reqBuf[:0]
+	for i := range cl.ces {
+		cl.ces[i].hardReset()
+	}
+	cl.cache.Reset()
+	cl.mem.Reset()
+	cl.ccb.Reset()
+	// Re-seed the IP traffic sources exactly as New does.
+	rng := rand.New(rand.NewPCG(seed, 0x1F8))
+	for i := range cl.ips {
+		cl.ips[i] = newIP(i, rng.Uint64())
+	}
+}
+
 // Config returns the cluster's configuration.
 func (cl *Cluster) Config() Config { return cl.cfg }
 
@@ -290,8 +318,7 @@ func (cl *Cluster) beginLoop(loop *Loop, ce *CE) {
 		return
 	}
 	it, _ := cl.ccb.Take(ce.id)
-	ce.iter = it
-	ce.stream = loop.Body(it)
+	ce.installBody(loop, it)
 	ce.mode = ceConc
 	ce.stall = cl.cfg.CStartCycles
 }

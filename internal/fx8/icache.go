@@ -50,3 +50,11 @@ func (c *icache) invalidate() {
 		c.valid[i] = false
 	}
 }
+
+// reset invalidates the cache and zeroes its statistics.  Stale tags
+// are left behind: with every line invalid they are unreachable, so
+// behaviour is identical to a fresh cache.
+func (c *icache) reset() {
+	c.invalidate()
+	c.hits, c.misses = 0, 0
+}

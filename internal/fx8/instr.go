@@ -68,6 +68,18 @@ type Loop struct {
 	// invoked once per iteration, on the CE the iteration was
 	// self-scheduled to.
 	Body func(iter int) Stream
+
+	// BodyInto, when non-nil, takes precedence over Body: it appends
+	// the instructions of one iteration into s (which arrives rewound
+	// and empty, its backing array reused across iterations).  A CE
+	// executes one iteration at a time, so the cluster hands each CE
+	// its own private buffer — iteration bodies then cost zero heap
+	// allocations in steady state, which is what lets independent
+	// sessions scale across worker goroutines without serializing in
+	// the allocator and GC.  The instructions appended for iteration
+	// i must depend only on i, never on the CE or the buffer's
+	// previous contents.
+	BodyInto func(iter int, s *SliceStream)
 }
 
 // SliceStream adapts a fixed instruction slice to the Stream

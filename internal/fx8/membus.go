@@ -50,6 +50,17 @@ func NewMemSystem(n int) *MemSystem {
 // NumBuses returns the number of memory buses.
 func (m *MemSystem) NumBuses() int { return len(m.buses) }
 
+// Reset drops every queued transaction and zeroes the statistics,
+// reusing the per-bus segment arrays.
+func (m *MemSystem) Reset() {
+	for i := range m.buses {
+		m.buses[i].segs = m.buses[i].segs[:0]
+		m.buses[i].head = 0
+	}
+	m.Transactions = 0
+	m.BusyCycles = 0
+}
+
 // Enqueue schedules a transaction of the given opcode and duration on
 // the bus, beginning no earlier than now and no earlier than the end
 // of the bus's last queued transaction.  It returns the cycle at which

@@ -19,6 +19,14 @@ func NewController(sys *concentrix.System) *Controller {
 	return &Controller{Sys: sys, DAS: NewDAS()}
 }
 
+// Reset re-attaches the controller (and its analyzer, cleared in
+// place) to a system, so a session arena reuses one instrument per
+// worker instead of allocating a controller and analyzer per session.
+func (c *Controller) Reset(sys *concentrix.System) {
+	c.Sys = sys
+	c.DAS.Reset()
+}
+
 // Acquire arms the analyzer in the given mode and steps the system
 // until the buffer fills or maxCycles elapse.  It returns the reduced
 // event counts and whether the acquisition completed (a triggered

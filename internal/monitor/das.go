@@ -97,6 +97,19 @@ func (d *DAS) Arm(mode TriggerMode) {
 // Armed reports whether an acquisition is in progress.
 func (d *DAS) Armed() bool { return d.armed }
 
+// Reset returns the analyzer to its just-constructed state — disarmed,
+// buffer empty, acquisition counter zeroed — reusing the buffer's
+// backing array.  Depth and timebase are kept.
+func (d *DAS) Reset() {
+	d.mode = TriggerImmediate
+	d.armed = false
+	d.triggered = false
+	d.prevActive = 0
+	d.phase = 0
+	d.buf = d.buf[:0]
+	d.Acquisitions = 0
+}
+
 // Full reports whether the buffer has filled since the last Arm.
 func (d *DAS) Full() bool { return !d.armed && len(d.buf) == d.depth }
 

@@ -140,3 +140,99 @@ func TestNormalizeName(t *testing.T) {
 		}
 	}
 }
+
+func TestCompareCarriesMetricDeltas(t *testing.T) {
+	oldSet := Set{Version: 1, Results: []Result{
+		{Name: "BenchmarkRunStudy/workers=max", NsPerOp: 900, Metrics: map[string]float64{"speedup-x": 1.0}},
+	}}
+	newSet := Set{Version: 1, Results: []Result{
+		{Name: "BenchmarkRunStudy/workers=max", NsPerOp: 300, Metrics: map[string]float64{"speedup-x": 3.2, "extra": 7}},
+	}}
+	rep := Compare(oldSet, newSet, 0.15)
+	if len(rep.Deltas) != 1 {
+		t.Fatalf("deltas = %d", len(rep.Deltas))
+	}
+	m := rep.Deltas[0].Metrics
+	if len(m) != 2 {
+		t.Fatalf("metric deltas = %+v, want union of 2 units", m)
+	}
+	// Sorted by unit: extra before speedup-x.
+	if m[0].Unit != "extra" || m[0].Old != 0 || m[0].New != 7 {
+		t.Errorf("extra delta = %+v", m[0])
+	}
+	if m[1].Unit != "speedup-x" || m[1].Old != 1.0 || m[1].New != 3.2 {
+		t.Errorf("speedup delta = %+v", m[1])
+	}
+	var buf bytes.Buffer
+	rep.Format(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "speedup-x") || !strings.Contains(out, "3.2") {
+		t.Errorf("formatted report omits metric movement:\n%s", out)
+	}
+	// Metrics never gate.
+	if fails := rep.Failures(false); len(fails) != 0 {
+		t.Errorf("metric movement gated the report: %+v", fails)
+	}
+}
+
+func TestSummarizeMetricsAndGeomean(t *testing.T) {
+	s := Set{Version: 1, Results: []Result{
+		{Name: "BenchmarkA", Iterations: 10, NsPerOp: 100},
+		{Name: "BenchmarkB", Iterations: 10, NsPerOp: 400, Metrics: map[string]float64{"speedup-x": 3.1}},
+	}}
+	gm, n := s.GeomeanNsPerOp()
+	if n != 2 || gm < 199.9 || gm > 200.1 {
+		t.Errorf("geomean = %v over %d, want 200 over 2", gm, n)
+	}
+	var buf bytes.Buffer
+	s.Summarize(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "speedup-x") {
+		t.Errorf("summary omits custom metric:\n%s", out)
+	}
+	if !strings.Contains(out, "geomean") || !strings.Contains(out, "(over 2 benchmarks)") {
+		t.Errorf("summary omits geomean line:\n%s", out)
+	}
+}
+
+func TestGeomeanEmptySet(t *testing.T) {
+	if gm, n := (Set{}).GeomeanNsPerOp(); gm != 0 || n != 0 {
+		t.Errorf("empty set geomean = %v, %d", gm, n)
+	}
+	var buf bytes.Buffer
+	(Set{}).Summarize(&buf)
+	if strings.Contains(buf.String(), "geomean") {
+		t.Error("empty set should not print a geomean line")
+	}
+}
+
+func TestCountFoldingKeepsBestMetrics(t *testing.T) {
+	text := `BenchmarkRunStudy/workers=max-8   	1	 900 ns/op	 2.1 speedup-x
+BenchmarkRunStudy/workers=max-8   	1	 800 ns/op	 1.4 speedup-x
+BenchmarkRunStudy/workers=max-8   	1	 850 ns/op	 3.0 speedup-x
+PASS
+`
+	s, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 1 {
+		t.Fatalf("results = %d, want 1 (folded)", len(s.Results))
+	}
+	r := s.Results[0]
+	if r.NsPerOp != 800 {
+		t.Errorf("folded ns/op = %v, want fastest 800", r.NsPerOp)
+	}
+	if r.Metrics["speedup-x"] != 3.0 {
+		t.Errorf("folded speedup-x = %v, want best 3.0 (not the fastest repeat's 1.4)", r.Metrics["speedup-x"])
+	}
+}
+
+func TestParseReportsOverlongLine(t *testing.T) {
+	// A single line longer than the 1 MiB scanner buffer must be a
+	// parse error, not a silently truncated set.
+	text := "BenchmarkA-8 \t10\t100 ns/op\n" + strings.Repeat("x", 2<<20) + "\nBenchmarkB-8 \t10\t200 ns/op\n"
+	if _, err := Parse(strings.NewReader(text)); err == nil {
+		t.Error("over-long line parsed without error (set would be silently truncated)")
+	}
+}

@@ -122,11 +122,18 @@ type Generator struct {
 
 // NewGenerator builds a generator for the profile.
 func NewGenerator(prof Profile) *Generator {
-	return &Generator{
-		prof: prof,
-		rng:  fastrand.New(prof.Seed, 0x90b),
-		pid:  1,
-	}
+	g := &Generator{}
+	g.Reset(prof)
+	return g
+}
+
+// Reset rewinds the generator to the state NewGenerator(prof) would
+// produce, so a session arena reuses one generator across sessions
+// instead of allocating one per session.
+func (g *Generator) Reset(prof Profile) {
+	g.prof = prof
+	g.rng = fastrand.New(prof.Seed, 0x90b)
+	g.pid = 1
 }
 
 // procBase assigns each process a distinct 4 MB address slot so

@@ -14,6 +14,8 @@
 package workload
 
 import (
+	"slices"
+
 	"repro/internal/fastrand"
 	"repro/internal/fx8"
 )
@@ -152,7 +154,12 @@ type LoopParams struct {
 	Seed uint64
 }
 
-// NewLoop builds the fx8 loop descriptor for the parameters.
+// NewLoop builds the fx8 loop descriptor for the parameters.  The
+// descriptor provides both body forms: BodyInto appends each
+// iteration into the executing CE's reusable buffer (the
+// zero-allocation path the cluster prefers), and Body materializes a
+// fresh stream for callers that hold iteration bodies beyond the
+// iteration's execution.
 func NewLoop(p LoopParams) *fx8.Loop {
 	if p.VecLen <= 0 {
 		p.VecLen = 32
@@ -164,13 +171,26 @@ func NewLoop(p LoopParams) *fx8.Loop {
 		p.ReuseBytes = 64 << 10
 	}
 	return &fx8.Loop{
-		Trips: p.Trips,
-		Body:  func(iter int) fx8.Stream { return buildBody(p, iter) },
+		Trips:    p.Trips,
+		Body:     func(iter int) fx8.Stream { return buildBody(p, iter) },
+		BodyInto: func(iter int, s *fx8.SliceStream) { appendBody(p, iter, s) },
 	}
 }
 
-// buildBody materializes the instruction list of one iteration.
+// buildBody materializes the instruction list of one iteration as a
+// fresh stream.  appendBody sizes the buffer itself once it has
+// rolled the iteration's actual chunk count.
 func buildBody(p LoopParams, iter int) fx8.Stream {
+	s := &fx8.SliceStream{}
+	appendBody(p, iter, s)
+	return s
+}
+
+// appendBody appends the instruction list of iteration iter into s.
+// The body is a pure function of (p, iter) — never of the buffer's
+// history — so regenerating it into a reused buffer is bit-identical
+// to building it fresh.
+func appendBody(p LoopParams, iter int, s *fx8.SliceStream) {
 	rng := fastrand.New(p.Seed, uint64(iter)+0xb0d9)
 	chunks := p.ChunksMean
 	if p.ChunksSpread > 0 {
@@ -186,7 +206,10 @@ func buildBody(p LoopParams, iter int) fx8.Stream {
 	// at ~3/4, so distance-d loops keep up to d iterations in flight.
 	awaitAt, advanceAt := chunks/4, 3*chunks/4
 
-	s := &fx8.SliceStream{Instrs: make([]fx8.Instr, 0, chunks*6+2)}
+	// Six instructions per chunk at most, plus the two sync ops:
+	// growing up front keeps the append loop reallocation-free for
+	// fresh streams and for reused buffers seeing their largest body.
+	s.Instrs = slices.Grow(s.Instrs, chunks*6+2)
 	code := p.CodeBase
 	emit := func(in fx8.Instr) {
 		in.IAddr = code
@@ -221,7 +244,6 @@ func buildBody(p LoopParams, iter int) fx8.Stream {
 			emit(fx8.Instr{Op: fx8.OpAdvance, N: int32(iter)})
 		}
 	}
-	return s
 }
 
 // CStart wraps a loop into the single serial instruction that starts
