@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race bench profile ci
+.PHONY: all build fmt vet test race bench bench-load profile ci
 
 all: build
 
@@ -59,6 +59,16 @@ bench:
 	$(call bench_layer,BENCH_study.json,RunStudy,./internal/core,-benchtime 1x -count 3)
 	@rm -f .bench.tmp
 	$(GO) run ./cmd/benchdiff -print BENCH_fx8.json BENCH_concentrix.json BENCH_monitor.json BENCH_core.json BENCH_experiments.json BENCH_service.json BENCH_study.json
+
+# bench-load measures the fx8d service under open-loop traffic with
+# cmd/loadgen: steady and bursty arrivals over the artefact, unit and
+# mixed request mixes, recorded as BENCH_service-load.json (p50
+# latency gates, p95/p99/rps/error/shed rates inform) and diffed by
+# the CI bench gate like any other layer.  LOADGEN_FLAGS passes extra
+# harness flags, e.g. -saturate or -slo-p99 50ms.
+bench-load:
+	$(GO) run ./cmd/loadgen -out BENCH_service-load.json $(LOADGEN_FLAGS)
+	$(GO) run ./cmd/benchdiff -print BENCH_service-load.json
 
 # profile records CPU and heap profiles of the session and study
 # benchmarks into profiles/ (gitignored), together with the test

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	fx8d [-addr HOST:PORT] [-cache DIR] [-workers N] [-max-inflight N]
-//	     [-cache-max-bytes N]
+//	     [-max-queue N] [-cache-max-bytes N]
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests.  See internal/service for the endpoint list.
@@ -52,11 +52,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cacheMax := fs.Int64("cache-max-bytes", 0, "evict oldest store entries beyond this total size (0 = unbounded)")
 	workers := fs.Int("workers", 0, "parallel session workers per campaign (0 = one per CPU)")
 	inflight := fs.Int("max-inflight", 4, "concurrently admitted expensive requests")
+	maxQueue := fs.Int("max-queue", 0, "expensive requests allowed to wait for admission before 429s (0 = 4x max-inflight)")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 	if *inflight < 1 {
 		return fmt.Errorf("-max-inflight must be >= 1, got %d", *inflight)
+	}
+	if *maxQueue < 0 {
+		return fmt.Errorf("-max-queue must be >= 0, got %d", *maxQueue)
 	}
 
 	cache := core.NewStudyCache()
@@ -73,6 +77,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Cache:       cache,
 		Workers:     *workers,
 		MaxInFlight: *inflight,
+		MaxQueue:    *maxQueue,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

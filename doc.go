@@ -43,19 +43,31 @@
 // points in-process, and the internal/remote client shards them
 // across a fleet of fx8d backends via POST /v1/run/session and POST
 // /v1/run/sweep — rerouting failed units, hedging slow ones, and
-// falling back to local compute when no backend answers.  Results are
-// reassembled in unit order, so sharded output is byte-identical to
-// local output for every backend count; cmd/sweep, cmd/measure and
-// cmd/figures surface the fleet as -backends host:port,....  The
-// in-process memo behind the caches (engine.Memo) never evicts an
-// in-flight entry, preserving singleflight under cap pressure.
+// falling back to local compute when no backend answers.  Large
+// campaigns batch contiguous session units through POST
+// /v1/run/sessions (engine.BatchRunner); the engine caps batch size
+// so batching never starves the worker pool, and a backend without
+// the endpoint degrades quietly to per-unit requests.  Results are
+// reassembled in unit order, so sharded output — batched or not — is
+// byte-identical to local output for every backend count; cmd/sweep,
+// cmd/measure and cmd/figures surface the fleet as -backends
+// host:port,....  The in-process memo behind the caches (engine.Memo)
+// never evicts an in-flight entry, preserving singleflight under cap
+// pressure.
 //
 // The fx8d daemon (cmd/fx8d, internal/service) serves the campaign's
 // artefacts over HTTP: the study summary, every table and figure, and
 // the parameter sweeps as addressable JSON resources, plus per-unit
-// execution endpoints for sharding, an SSE progress stream for
-// in-flight campaigns, per-endpoint latency and cache hit-rate
-// counters, bounded request admission, and graceful shutdown.
+// and batched execution endpoints for sharding, an SSE progress
+// stream for in-flight campaigns, per-endpoint latency and cache
+// hit-rate counters, bounded request admission with a bounded wait
+// queue (excess load shed as 429 + Retry-After), strong ETags with
+// If-None-Match revalidation on artefact endpoints, and graceful
+// shutdown.  cmd/loadgen drives the daemon with deterministic
+// open-loop traffic — steady or bursty Poisson arrivals over
+// artefact, unit and mixed request mixes — and records the resulting
+// latency/throughput/shed profile as a perf set for the CI bench
+// gate (make bench-load).
 //
 // The root package holds the benchmark harness: one benchmark per
 // table and figure of the paper's evaluation, plus ablation benchmarks

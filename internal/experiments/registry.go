@@ -73,6 +73,20 @@ func lookup(rs []StudyRenderer, name string) (StudyRenderer, bool) {
 	return StudyRenderer{}, false
 }
 
+// HasTable reports whether name addresses a registered table —
+// validity without the campaign, so the service can answer
+// conditional requests before computing anything.
+func HasTable(name string) bool {
+	_, ok := lookup(Tables(), name)
+	return ok
+}
+
+// HasFigure is HasTable for figures.
+func HasFigure(name string) bool {
+	_, ok := lookup(Figures(), name)
+	return ok
+}
+
 // RenderTable renders the named table from a completed campaign.
 func RenderTable(name string, st *core.Study) (string, bool) {
 	r, ok := lookup(Tables(), name)

@@ -165,6 +165,97 @@ func TestShardedQuickCampaignByteIdentical(t *testing.T) {
 	})
 }
 
+// TestBatchedCampaignByteIdentical is the batch-path acceptance
+// proof: a campaign executed over POST /v1/run/sessions — many units
+// per request — reassembles byte-identically to local execution, and
+// the batch endpoint actually carried the work.
+func TestBatchedCampaignByteIdentical(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("multi-campaign batching proof in -short mode")
+	}
+	cfg := core.QuickScale()
+	local := core.RunStudy(cfg)
+	localJSON, err := core.EncodeStudy(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One backend, half as many workers as units: the engine cuts
+	// multi-unit batches, all carried by the batch endpoint.
+	backend := newBackend(t)
+	client := remote.NewStudyClient(remote.Config{Backends: []string{backend.URL}})
+	workers := cfg.TotalSessions() / 2
+	sharded, err := core.RunStudyRunner(context.Background(), cfg, workers, client, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedJSON, err := core.EncodeStudy(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(shardedJSON) != string(localJSON) {
+		t.Error("batched campaign differs from local campaign")
+	}
+	st := client.Stats()
+	if st.Batches == 0 {
+		t.Error("campaign ran without a single batched request")
+	}
+	if st.Fallbacks != 0 {
+		t.Errorf("fallbacks = %d, want 0 with a live backend", st.Fallbacks)
+	}
+	if st.Backends[0].Units != uint64(cfg.TotalSessions()) {
+		t.Errorf("backend served %d units, want all %d", st.Backends[0].Units, cfg.TotalSessions())
+	}
+}
+
+// TestBatchedCampaignSurvivesBatchlessBackend proves version-skew
+// safety: a fleet mixing a batch-capable daemon with an older one
+// that 404s the batch path still reassembles byte-identically, and
+// the older daemon is not marked dead for the skew.
+func TestBatchedCampaignSurvivesBatchlessBackend(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("multi-campaign batching proof in -short mode")
+	}
+	cfg := core.QuickScale()
+	local := core.RunStudy(cfg)
+	localJSON, err := core.EncodeStudy(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	modern := newBackend(t)
+	// An older daemon: same unit endpoint, no batch endpoint.
+	older := service.New(service.Config{Workers: 1, MaxInFlight: 4})
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == remote.SessionBatchPath {
+			http.NotFound(w, r)
+			return
+		}
+		older.ServeHTTP(w, r)
+	}))
+	t.Cleanup(legacy.Close)
+
+	client := remote.NewStudyClient(remote.Config{Backends: []string{modern.URL, legacy.URL}})
+	sharded, err := core.RunStudyRunner(context.Background(), cfg, cfg.TotalSessions()/2, client, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedJSON, err := core.EncodeStudy(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(shardedJSON) != string(localJSON) {
+		t.Error("mixed-fleet campaign differs from local campaign")
+	}
+	for _, bs := range client.Stats().Backends {
+		if bs.Dead {
+			t.Errorf("backend %s marked dead in a healthy mixed fleet", bs.Addr)
+		}
+	}
+}
+
 // TestShardedSweepSurvivesKilledBackend is the sweep-side half of the
 // kill-mid-run proof.
 func TestShardedSweepSurvivesKilledBackend(t *testing.T) {

@@ -33,10 +33,14 @@ import (
 )
 
 // Paths of the fx8d unit-execution endpoints, shared with
-// internal/service so client and server cannot drift.
+// internal/service so client and server cannot drift.  The batch
+// path carries a JSON array of session units per request — one POST,
+// many units — amortizing the per-unit HTTP and JSON round trip that
+// dominates the remote layer's overhead.
 const (
-	SessionPath = "/v1/run/session"
-	SweepPath   = "/v1/run/sweep"
+	SessionPath      = "/v1/run/session"
+	SessionBatchPath = "/v1/run/sessions"
+	SweepPath        = "/v1/run/sweep"
 )
 
 // Defaults for Config's zero fields.
@@ -44,6 +48,7 @@ const (
 	DefaultUnitTimeout = 10 * time.Minute
 	DefaultHedgeAfter  = 30 * time.Second
 	DefaultMaxFailures = 3
+	DefaultBatchUnits  = 16
 )
 
 // Config sizes a Client.
@@ -71,6 +76,16 @@ type Config struct {
 	// client.  0 means DefaultMaxFailures.
 	MaxFailures int
 
+	// BatchPath is the batched unit-execution endpoint
+	// (SessionBatchPath).  When set, the engine drives the client at
+	// batch granularity: BatchUnits units per POST instead of one.
+	// Empty disables batching.
+	BatchPath string
+
+	// BatchUnits is how many units one batched request carries when
+	// BatchPath is set.  0 means DefaultBatchUnits.
+	BatchUnits int
+
 	// HTTPClient overrides the transport (tests); nil uses a
 	// dedicated default client.
 	HTTPClient *http.Client
@@ -80,10 +95,12 @@ type Config struct {
 type backend struct {
 	addr     string // as configured, for Stats
 	url      string // resolved endpoint URL
+	batchURL string // resolved batch endpoint URL ("" = no batching)
 	inflight atomic.Int64
 	failures atomic.Int64
 	units    atomic.Uint64 // completed units
 	dead     atomic.Bool
+	noBatch  atomic.Bool // batch endpoint absent (version skew)
 }
 
 func (b *backend) fail(maxFailures int) {
@@ -109,6 +126,8 @@ type Client[U, R any] struct {
 	rr        atomic.Uint64 // round-robin tiebreak for pick
 	fallbackN atomic.Uint64
 	hedgeN    atomic.Uint64
+	batchN    atomic.Uint64
+	hedgeWake atomic.Uint64 // hedge-timer wakeups (tests pin these down)
 }
 
 // NewClient builds a sharding client; fallback is the local compute
@@ -123,6 +142,9 @@ func NewClient[U, R any](cfg Config, fallback func(U) (R, error)) *Client[U, R] 
 	if cfg.MaxFailures <= 0 {
 		cfg.MaxFailures = DefaultMaxFailures
 	}
+	if cfg.BatchUnits <= 0 {
+		cfg.BatchUnits = DefaultBatchUnits
+	}
 	c := &Client[U, R]{cfg: cfg, fallback: fallback, httpc: cfg.HTTPClient}
 	if c.httpc == nil {
 		c.httpc = &http.Client{}
@@ -132,10 +154,12 @@ func NewClient[U, R any](cfg Config, fallback func(U) (R, error)) *Client[U, R] 
 		if !strings.Contains(url, "://") {
 			url = "http://" + url
 		}
-		c.backends = append(c.backends, &backend{
-			addr: addr,
-			url:  strings.TrimRight(url, "/") + cfg.Path,
-		})
+		base := strings.TrimRight(url, "/")
+		b := &backend{addr: addr, url: base + cfg.Path}
+		if cfg.BatchPath != "" {
+			b.batchURL = base + cfg.BatchPath
+		}
+		c.backends = append(c.backends, b)
 	}
 	return c
 }
@@ -179,8 +203,27 @@ func (c *Client[U, R]) RunUnit(ctx context.Context, unit U) (R, error) {
 	tried := make(map[*backend]bool, len(c.backends))
 	inFlight := 0
 
+	// The hedge clock follows the most recently launched attempt: it
+	// is armed when an attempt launches and fires once that attempt
+	// has run HedgeAfter without an answer.  Events that launch
+	// nothing (a stale result from a canceled duplicate, a failure
+	// with no backend left to reroute to) never touch the clock, and
+	// once no untried live backend remains the timer is disarmed for
+	// good — no wakeup can ever launch anything again, so none
+	// happens.
+	var hedge *time.Timer
+	var hedgeC <-chan time.Time
+	disarm := func() {
+		if hedge != nil {
+			hedge.Stop()
+			hedge, hedgeC = nil, nil
+		}
+	}
+	defer disarm()
+
 	// launch fires the unit at the best untried live backend,
-	// reporting whether one existed.
+	// reporting whether one existed, and rewinds the hedge clock for
+	// the new attempt.
 	launch := func() bool {
 		b := c.pick(tried)
 		if b == nil {
@@ -190,19 +233,20 @@ func (c *Client[U, R]) RunUnit(ctx context.Context, unit U) (R, error) {
 		inFlight++
 		b.inflight.Add(1)
 		go func() {
-			res, err := c.post(unitCtx, b, payload)
+			res, err := c.post(unitCtx, b, b.url, payload)
 			b.inflight.Add(-1)
 			results <- attempt{res, err, b}
 		}()
+		disarm()
+		hedge = time.NewTimer(c.cfg.HedgeAfter)
+		hedgeC = hedge.C
 		return true
 	}
 
 	launch()
 	for inFlight > 0 {
-		hedge := time.NewTimer(c.cfg.HedgeAfter)
 		select {
 		case a := <-results:
-			hedge.Stop()
 			inFlight--
 			if a.err == nil {
 				a.b.ok()
@@ -215,15 +259,20 @@ func (c *Client[U, R]) RunUnit(ctx context.Context, unit U) (R, error) {
 			if ctx.Err() != nil {
 				return zero, ctx.Err()
 			}
-			launch() // reroute to the next backend, if any
-		case <-hedge.C:
-			// The oldest attempt is slow: duplicate the unit on
+			if !launch() { // reroute to the next backend, if any
+				// Nothing left to launch, ever: hedging is over.
+				disarm()
+			}
+		case <-hedgeC:
+			// The newest attempt is slow: duplicate the unit on
 			// another backend and take whichever answers first.
+			c.hedgeWake.Add(1)
 			if launch() {
 				c.hedgeN.Add(1)
+			} else {
+				disarm()
 			}
 		case <-ctx.Done():
-			hedge.Stop()
 			return zero, ctx.Err()
 		}
 	}
@@ -237,6 +286,105 @@ func (c *Client[U, R]) RunUnit(ctx context.Context, unit U) (R, error) {
 	return c.fallback(unit)
 }
 
+// BatchUnits implements engine.BatchRunner's sizing half: batching is
+// on when a batch path is configured and backends exist; otherwise 1
+// tells the engine to drive RunUnit.
+func (c *Client[U, R]) BatchUnits() int {
+	if c.cfg.BatchPath == "" || len(c.backends) == 0 {
+		return 1
+	}
+	return c.cfg.BatchUnits
+}
+
+// RunBatch implements engine.BatchRunner: it ships a contiguous run
+// of units to one backend's batch endpoint in a single POST, trying
+// each untried live batch-capable backend in least-loaded order.  A
+// backend whose batch endpoint is absent (404/405 from an older
+// daemon) is remembered as batchless — not failed — and the units
+// flow through RunUnit instead, which reroutes, hedges, and falls
+// back to local compute per unit; so does a batch no backend could
+// serve.  Batches are not hedged: a duplicated batch would duplicate
+// every unit in it.  Either way the results come back one per unit,
+// in unit order, byte-identical to the unbatched path — the server
+// computes batch units through the same per-unit cache namespace.
+func (c *Client[U, R]) RunBatch(ctx context.Context, units []U) ([]R, error) {
+	payload, err := json.Marshal(units)
+	if err != nil {
+		return nil, fmt.Errorf("remote: encoding unit batch: %w", err)
+	}
+	tried := make(map[*backend]bool, len(c.backends))
+	for {
+		b := c.pickBatch(tried)
+		if b == nil {
+			break
+		}
+		tried[b] = true
+		b.inflight.Add(int64(len(units)))
+		body, status, err := c.postRaw(ctx, b, b.batchURL, payload)
+		b.inflight.Add(int64(-len(units)))
+		if err != nil {
+			if status == http.StatusNotFound || status == http.StatusMethodNotAllowed {
+				// An older daemon without the batch endpoint, not a
+				// sick one.
+				b.noBatch.Store(true)
+				continue
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			b.fail(c.cfg.MaxFailures)
+			continue
+		}
+		var out []R
+		if err := json.Unmarshal(body, &out); err != nil {
+			b.fail(c.cfg.MaxFailures)
+			continue
+		}
+		if len(out) != len(units) {
+			b.fail(c.cfg.MaxFailures)
+			continue
+		}
+		b.failures.Store(0)
+		b.units.Add(uint64(len(units)))
+		c.batchN.Add(1)
+		return out, nil
+	}
+
+	// No batch-capable backend could serve the batch: degrade to the
+	// per-unit path, which carries its own reroute/hedge/local-
+	// fallback machinery.
+	out := make([]R, len(units))
+	for i, u := range units {
+		res, err := c.RunUnit(ctx, u)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// pickBatch is pick restricted to batch-capable backends.
+func (c *Client[U, R]) pickBatch(tried map[*backend]bool) *backend {
+	n := len(c.backends)
+	if n == 0 {
+		return nil
+	}
+	start := int(c.rr.Add(1) % uint64(n))
+	var best *backend
+	var bestLoad int64
+	for i := 0; i < n; i++ {
+		b := c.backends[(start+i)%n]
+		if tried[b] || b.dead.Load() || b.noBatch.Load() || b.batchURL == "" {
+			continue
+		}
+		if load := b.inflight.Load(); best == nil || load < bestLoad {
+			best, bestLoad = b, load
+		}
+	}
+	return best
+}
+
 // pick returns the untried live backend with the fewest units in
 // flight, rotating the scan start so ties spread round-robin.
 func (c *Client[U, R]) pick(tried map[*backend]bool) *backend {
@@ -244,7 +392,11 @@ func (c *Client[U, R]) pick(tried map[*backend]bool) *backend {
 	if n == 0 {
 		return nil
 	}
-	start := int(c.rr.Add(1)) % n
+	// Reduce the counter in uint64 before converting: int(Add(1))
+	// truncates, and a truncated counter past 2^31 (386) or 2^63
+	// goes negative, making (start+i)%n a negative — panicking —
+	// index.
+	start := int(c.rr.Add(1) % uint64(n))
 	var best *backend
 	var bestLoad int64
 	for i := 0; i < n; i++ {
@@ -259,37 +411,50 @@ func (c *Client[U, R]) pick(tried map[*backend]bool) *backend {
 	return best
 }
 
-// post runs one attempt of one unit on one backend.
-func (c *Client[U, R]) post(ctx context.Context, b *backend, payload []byte) (R, error) {
+// post runs one attempt of one unit's payload on one backend
+// endpoint.
+func (c *Client[U, R]) post(ctx context.Context, b *backend, url string, payload []byte) (R, error) {
 	var zero R
-	ctx, cancel := context.WithTimeout(ctx, c.cfg.UnitTimeout)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url, bytes.NewReader(payload))
+	body, _, err := c.postRaw(ctx, b, url, payload)
 	if err != nil {
-		return zero, fmt.Errorf("remote: %s: %w", b.addr, err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpc.Do(req)
-	if err != nil {
-		return zero, fmt.Errorf("remote: %s: %w", b.addr, err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return zero, fmt.Errorf("remote: %s: reading response: %w", b.addr, err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		msg := strings.TrimSpace(string(body))
-		if len(msg) > 200 {
-			msg = msg[:200]
-		}
-		return zero, fmt.Errorf("remote: %s: %s: %s", b.addr, resp.Status, msg)
+		return zero, err
 	}
 	var out R
 	if err := json.Unmarshal(body, &out); err != nil {
 		return zero, fmt.Errorf("remote: %s: decoding result: %w", b.addr, err)
 	}
 	return out, nil
+}
+
+// postRaw POSTs one JSON payload to one backend endpoint and returns
+// the 200 response body.  Non-200 responses are errors carrying the
+// status code, so callers can distinguish an absent endpoint (404 on
+// the batch path of an older daemon) from a failing backend.
+func (c *Client[U, R]) postRaw(ctx context.Context, b *backend, url string, payload []byte) ([]byte, int, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.UnitTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return nil, 0, fmt.Errorf("remote: %s: %w", b.addr, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("remote: %s: %w", b.addr, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, fmt.Errorf("remote: %s: reading response: %w", b.addr, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := strings.TrimSpace(string(body))
+		if len(msg) > 200 {
+			msg = msg[:200]
+		}
+		return nil, resp.StatusCode, fmt.Errorf("remote: %s: %s: %s", b.addr, resp.Status, msg)
+	}
+	return body, resp.StatusCode, nil
 }
 
 // BackendStats is one backend's share of a client's work.
@@ -302,16 +467,17 @@ type BackendStats struct {
 
 // Stats snapshots how the client's units were executed — which
 // backends did the work, how many units fell back to local compute,
-// and how many hedges fired.
+// how many hedges fired, and how many batched requests succeeded.
 type Stats struct {
 	Backends  []BackendStats
 	Fallbacks uint64
 	Hedges    uint64
+	Batches   uint64
 }
 
 // Stats returns a snapshot of the client's scheduling outcomes.
 func (c *Client[U, R]) Stats() Stats {
-	s := Stats{Fallbacks: c.fallbackN.Load(), Hedges: c.hedgeN.Load()}
+	s := Stats{Fallbacks: c.fallbackN.Load(), Hedges: c.hedgeN.Load(), Batches: c.batchN.Load()}
 	for _, b := range c.backends {
 		s.Backends = append(s.Backends, BackendStats{
 			Addr:     b.addr,

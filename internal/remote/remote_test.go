@@ -3,6 +3,7 @@ package remote
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -238,6 +239,282 @@ func TestRunnerConstructorsNilForEmpty(t *testing.T) {
 	}
 	if StudyRunner([]string{"h:1"}) == nil || SweepRunner([]string{"h:1"}) == nil {
 		t.Error("constructors returned nil for a non-empty backend list")
+	}
+}
+
+func TestPickSurvivesCounterWrap(t *testing.T) {
+	t.Parallel()
+	var served atomic.Int64
+	a := echoBackend(t, &served)
+	b := echoBackend(t, &served)
+	c := NewClient(Config{Backends: []string{a.URL, b.URL}}, echoLocal)
+	// Wind the round-robin counter to just below the uint64 wrap: the
+	// old pick converted before reducing (int(rr.Add(1)) % n), so a
+	// counter past 2^63 — or 2^31 on 32-bit ints — went negative and
+	// indexed backends[-1].  Exercise picks across the wrap itself.
+	c.rr.Store(^uint64(0) - 10)
+	for i := 0; i < 25; i++ {
+		res, err := c.RunUnit(context.Background(), echoUnit{X: i})
+		if err != nil {
+			t.Fatalf("unit %d across counter wrap: %v", i, err)
+		}
+		if res.Y != i*2 {
+			t.Fatalf("unit %d = %+v, want Y=%d", i, res, i*2)
+		}
+	}
+	if st := c.Stats(); st.Fallbacks != 0 {
+		t.Errorf("fallbacks = %d, want 0 across the counter wrap", st.Fallbacks)
+	}
+}
+
+// stallingBackend serves echo responses only after release is closed,
+// watching for client disconnects while stalled.
+func stallingBackend(t *testing.T, release chan struct{}) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var u echoUnit
+		json.NewDecoder(r.Body).Decode(&u)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+			return
+		}
+		res, _ := echoLocal(u)
+		json.NewEncoder(w).Encode(res)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHedgeTimerFiresOncePerLaunch(t *testing.T) {
+	t.Parallel()
+	release := make(chan struct{})
+	slowA := stallingBackend(t, release)
+	slowB := stallingBackend(t, release)
+
+	c := NewClient(Config{
+		Backends:   []string{slowA.URL, slowB.URL},
+		HedgeAfter: 20 * time.Millisecond,
+	}, echoLocal)
+	done := make(chan error, 1)
+	go func() {
+		res, err := c.RunUnit(context.Background(), echoUnit{X: 3})
+		if err == nil && res.Y != 6 {
+			err = fmt.Errorf("res = %+v, want Y=6", res)
+		}
+		done <- err
+	}()
+	// Both backends stall well past many hedge periods.  The first
+	// launch arms the hedge clock; its one wakeup hedges onto the
+	// second backend and re-arms; that attempt's one wakeup finds no
+	// untried backend and disarms for good.  The old loop re-armed the
+	// timer on every iteration of the wait, waking every HedgeAfter
+	// forever — ~15 wakeups in this window instead of 2.
+	time.Sleep(300 * time.Millisecond)
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if wakes := c.hedgeWake.Load(); wakes != 2 {
+		t.Errorf("hedge timer woke %d times, want exactly 2 (one per launch)", wakes)
+	}
+	if st := c.Stats(); st.Hedges != 1 {
+		t.Errorf("hedges = %d, want exactly 1", st.Hedges)
+	}
+}
+
+func TestHedgeTimerDisarmsWithNoBackendLeft(t *testing.T) {
+	t.Parallel()
+	release := make(chan struct{})
+	slow := stallingBackend(t, release)
+
+	c := NewClient(Config{
+		Backends:   []string{slow.URL},
+		HedgeAfter: 20 * time.Millisecond,
+	}, echoLocal)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.RunUnit(context.Background(), echoUnit{X: 1})
+		done <- err
+	}()
+	time.Sleep(300 * time.Millisecond)
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The sole backend was already tried when the hedge fired: one
+	// wakeup, no hedge, then silence.
+	if wakes := c.hedgeWake.Load(); wakes != 1 {
+		t.Errorf("hedge timer woke %d times, want exactly 1", wakes)
+	}
+	if st := c.Stats(); st.Hedges != 0 {
+		t.Errorf("hedges = %d, want 0 with nowhere to hedge", st.Hedges)
+	}
+}
+
+// batchEchoBackend serves the echo computation on both the unit and
+// batch paths, counting requests per path.
+func batchEchoBackend(t *testing.T, unitReqs, batchReqs *atomic.Int64) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/unit", func(w http.ResponseWriter, r *http.Request) {
+		if unitReqs != nil {
+			unitReqs.Add(1)
+		}
+		var u echoUnit
+		if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, _ := echoLocal(u)
+		json.NewEncoder(w).Encode(res)
+	})
+	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
+		if batchReqs != nil {
+			batchReqs.Add(1)
+		}
+		var us []echoUnit
+		if err := json.NewDecoder(r.Body).Decode(&us); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out := make([]echoResult, len(us))
+		for i, u := range us {
+			out[i], _ = echoLocal(u)
+		}
+		json.NewEncoder(w).Encode(out)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestClientBatchesUnits(t *testing.T) {
+	t.Parallel()
+	var unitReqs, batchReqs atomic.Int64
+	srv := batchEchoBackend(t, &unitReqs, &batchReqs)
+	c := NewClient(Config{
+		Backends:   []string{srv.URL},
+		Path:       "/unit",
+		BatchPath:  "/batch",
+		BatchUnits: 4,
+	}, echoLocal)
+	got, err := engine.RunAll(context.Background(), 4, units(16), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, got)
+	if batchReqs.Load() != 4 {
+		t.Errorf("batch requests = %d, want 4 (16 units / 4 per batch)", batchReqs.Load())
+	}
+	if unitReqs.Load() != 0 {
+		t.Errorf("unit requests = %d, want 0 when batching", unitReqs.Load())
+	}
+	st := c.Stats()
+	if st.Batches != 4 {
+		t.Errorf("Stats.Batches = %d, want 4", st.Batches)
+	}
+	if st.Backends[0].Units != 16 {
+		t.Errorf("backend units = %d, want all 16 counted", st.Backends[0].Units)
+	}
+}
+
+func TestClientBatchDegradesWhenEndpointAbsent(t *testing.T) {
+	t.Parallel()
+	// An older daemon: unit path present, batch path 404s.
+	var unitReqs atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/unit", func(w http.ResponseWriter, r *http.Request) {
+		unitReqs.Add(1)
+		var u echoUnit
+		json.NewDecoder(r.Body).Decode(&u)
+		res, _ := echoLocal(u)
+		json.NewEncoder(w).Encode(res)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	c := NewClient(Config{
+		Backends:   []string{srv.URL},
+		Path:       "/unit",
+		BatchPath:  "/batch",
+		BatchUnits: 4,
+	}, echoLocal)
+	got, err := engine.RunAll(context.Background(), 4, units(8), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, got)
+	if unitReqs.Load() != 8 {
+		t.Errorf("unit requests = %d, want all 8 degraded to the unit path", unitReqs.Load())
+	}
+	st := c.Stats()
+	if st.Batches != 0 {
+		t.Errorf("Stats.Batches = %d, want 0 against a batchless daemon", st.Batches)
+	}
+	// Version skew is not sickness: the backend must stay live.
+	if st.Backends[0].Dead || st.Backends[0].Failures != 0 {
+		t.Errorf("batchless backend penalized: %+v", st.Backends[0])
+	}
+}
+
+func TestClientBatchReroutesOnFailure(t *testing.T) {
+	t.Parallel()
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "backend on fire", http.StatusInternalServerError)
+	}))
+	t.Cleanup(bad.Close)
+	var batchReqs atomic.Int64
+	good := batchEchoBackend(t, nil, &batchReqs)
+
+	c := NewClient(Config{
+		Backends:    []string{bad.URL, good.URL},
+		Path:        "/unit",
+		BatchPath:   "/batch",
+		BatchUnits:  4,
+		MaxFailures: 1,
+	}, echoLocal)
+	got, err := engine.RunAll(context.Background(), 2, units(8), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, got)
+	if batchReqs.Load() == 0 {
+		t.Error("no batches rerouted to the healthy backend")
+	}
+	st := c.Stats()
+	for _, b := range st.Backends {
+		if b.Addr == bad.URL && !b.Dead {
+			t.Errorf("failing backend not marked dead after batch failures: %+v", b)
+		}
+	}
+}
+
+func TestBatchUnitsDisabledWithoutBatchPath(t *testing.T) {
+	t.Parallel()
+	c := NewClient(Config{Backends: []string{"h:1"}}, echoLocal)
+	if got := c.BatchUnits(); got != 1 {
+		t.Errorf("BatchUnits() = %d without a BatchPath, want 1", got)
+	}
+	none := NewClient(Config{BatchPath: "/batch"}, echoLocal)
+	if got := none.BatchUnits(); got != 1 {
+		t.Errorf("BatchUnits() = %d without backends, want 1", got)
+	}
+	on := NewClient(Config{Backends: []string{"h:1"}, BatchPath: "/batch"}, echoLocal)
+	if got := on.BatchUnits(); got != DefaultBatchUnits {
+		t.Errorf("BatchUnits() = %d, want DefaultBatchUnits", got)
+	}
+}
+
+func TestStudyClientBatchesByDefault(t *testing.T) {
+	t.Parallel()
+	c := NewStudyClient(Config{Backends: []string{"h:1"}})
+	if got := c.BatchUnits(); got != DefaultBatchUnits {
+		t.Errorf("study client BatchUnits() = %d, want batching on by default", got)
+	}
+	off := NewStudyClient(Config{Backends: []string{"h:1"}, BatchUnits: 1})
+	if got := off.BatchUnits(); got != 1 {
+		t.Errorf("study client BatchUnits() = %d with BatchUnits=1, want batching off", got)
 	}
 }
 

@@ -22,8 +22,17 @@ func ParseBackends(flagValue string) []string {
 
 // NewStudyClient returns a sharding client for campaign session units
 // (fx8d's POST /v1/run/session), falling back to in-process sessions.
+// Session units batch by default over POST /v1/run/sessions —
+// DefaultBatchUnits units per request — because the per-unit JSON
+// round trip is the remote layer's dominant overhead; backends
+// without the batch endpoint degrade to the per-unit path.  Set
+// cfg.BatchUnits to 1 alongside an empty BatchPath to force
+// unbatched execution.
 func NewStudyClient(cfg Config) *Client[core.StudyUnit, core.StudyUnitResult] {
 	cfg.Path = SessionPath
+	if cfg.BatchPath == "" && cfg.BatchUnits == 0 {
+		cfg.BatchPath = SessionBatchPath
+	}
 	return NewClient(cfg, core.RunStudyUnit)
 }
 

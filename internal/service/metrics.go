@@ -18,6 +18,8 @@ type metrics struct {
 type endpointMetrics struct {
 	requests uint64
 	errors   uint64
+	canceled uint64 // client gave up before the handler ran
+	shed     uint64 // rejected with 429 past the admission queue bound
 	total    time.Duration
 	max      time.Duration
 }
@@ -26,14 +28,19 @@ func newMetrics() *metrics {
 	return &metrics{per: make(map[string]*endpointMetrics)}
 }
 
-func (m *metrics) record(endpoint string, d time.Duration, failed bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+func (m *metrics) get(endpoint string) *endpointMetrics {
 	em := m.per[endpoint]
 	if em == nil {
 		em = &endpointMetrics{}
 		m.per[endpoint] = em
 	}
+	return em
+}
+
+func (m *metrics) record(endpoint string, d time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em := m.get(endpoint)
 	em.requests++
 	if failed {
 		em.errors++
@@ -44,11 +51,38 @@ func (m *metrics) record(endpoint string, d time.Duration, failed bool) {
 	}
 }
 
+// recordCanceled books a request whose client disconnected before any
+// response could be written.  Cancellations are counted apart from
+// errors: a client hanging up is not a server failure, and folding the
+// two together made error rates unreadable under load.
+func (m *metrics) recordCanceled(endpoint string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em := m.get(endpoint)
+	em.requests++
+	em.canceled++
+	em.total += d
+	if d > em.max {
+		em.max = d
+	}
+}
+
+// recordShed books a request rejected with 429 past the admission
+// queue bound.  Sheds are neither errors nor regular requests — they
+// never reached a handler — so they get their own counter.
+func (m *metrics) recordShed(endpoint string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.get(endpoint).shed++
+}
+
 // EndpointMetrics is one endpoint's row in the /v1/metrics body.
 type EndpointMetrics struct {
 	Endpoint string  `json:"endpoint"`
 	Requests uint64  `json:"requests"`
 	Errors   uint64  `json:"errors"`
+	Canceled uint64  `json:"canceled"`
+	Shed     uint64  `json:"shed"`
 	AvgMs    float64 `json:"avg_ms"`
 	MaxMs    float64 `json:"max_ms"`
 }
@@ -70,6 +104,8 @@ func (s *Server) metricsSnapshot() MetricsResponse {
 			Endpoint: name,
 			Requests: em.requests,
 			Errors:   em.errors,
+			Canceled: em.canceled,
+			Shed:     em.shed,
 			MaxMs:    float64(em.max) / float64(time.Millisecond),
 		}
 		if em.requests > 0 {

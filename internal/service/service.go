@@ -18,14 +18,38 @@
 //	GET  /v1/metrics          per-endpoint latency + cache hit rates
 //	POST /v1/purge            drop both cache tiers
 //	POST /v1/run/session      execute one campaign session unit
+//	POST /v1/run/sessions     execute a batch of session units
 //	POST /v1/run/sweep        execute one sweep-point unit
 //
 // The /v1/run endpoints are the serving side of sharded execution
-// (internal/remote): each request carries one JSON work unit, runs
+// (internal/remote): each request carries JSON work units, runs
 // behind the same admission semaphore as the other expensive
 // endpoints, and is cached per unit in the campaign store, so a
 // re-routed or hedged unit that was already computed here is served
-// from disk.
+// from disk.  The batch endpoint carries many units per POST —
+// amortizing the per-unit HTTP round trip — and computes each unit
+// through the same per-unit cache namespace as the single-unit
+// endpoint, so batched and unbatched results are byte-identical.
+//
+// # Conditional requests
+//
+// Every campaign artefact is a pure function of its canonically
+// encoded configuration, so /v1/study, /v1/tables/{name} and
+// /v1/figures/{name} carry a strong ETag derived from the same
+// sha256 content address the campaign store uses.  A request
+// revalidating with If-None-Match gets 304 Not Modified before any
+// campaign work happens — revalidation is free even when the
+// campaign is not.  (/v1/sweep responses embed cache-tier provenance
+// in the body, so they are deliberately ETag-less.)
+//
+// # Backpressure
+//
+// Admission is doubly bounded: MaxInFlight expensive requests run
+// concurrently and at most MaxQueue more may wait.  A request past
+// both bounds is shed immediately with 429 Too Many Requests and a
+// Retry-After header instead of queuing unboundedly — under
+// overload the daemon degrades to fast rejections, never to an
+// unbounded latency tail.
 package service
 
 import (
@@ -33,9 +57,12 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/remote"
 	"repro/internal/store"
@@ -55,7 +82,31 @@ type Config struct {
 	// (study, tables, figures, sweep); further requests queue until
 	// a slot frees or the client gives up.  0 means 4.
 	MaxInFlight int
+
+	// MaxQueue bounds how many expensive requests may wait for
+	// admission; a request arriving past the bound is shed with
+	// 429 + Retry-After instead of queuing.  0 means
+	// 4 * MaxInFlight.
+	MaxQueue int
+
+	// MaxSweepSamples bounds the samples parameter of /v1/sweep:
+	// admission bounds how many requests run, not how big one
+	// request is, so an unbounded samples value would let a single
+	// request monopolize a slot indefinitely.  Requests past the
+	// bound get 400.  0 means DefaultMaxSweepSamples.
+	MaxSweepSamples int
+
+	// MaxBatchUnits bounds how many units one POST /v1/run/sessions
+	// request may carry; requests past the bound get 400.  0 means
+	// DefaultMaxBatchUnits.
+	MaxBatchUnits int
 }
+
+// Default request-cost bounds for Config's zero fields.
+const (
+	DefaultMaxSweepSamples = 10_000
+	DefaultMaxBatchUnits   = 256
+)
 
 // Server is the fx8d HTTP handler.
 type Server struct {
@@ -63,6 +114,7 @@ type Server struct {
 	cache    *core.StudyCache
 	mux      *http.ServeMux
 	sem      chan struct{}
+	waiting  atomic.Int64 // expensive requests queued for admission
 	metrics  *metrics
 	progress *progressBoard
 	start    time.Time
@@ -75,6 +127,15 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 4
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxInFlight
+	}
+	if cfg.MaxSweepSamples <= 0 {
+		cfg.MaxSweepSamples = DefaultMaxSweepSamples
+	}
+	if cfg.MaxBatchUnits <= 0 {
+		cfg.MaxBatchUnits = DefaultMaxBatchUnits
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -95,6 +156,7 @@ func New(cfg Config) *Server {
 	s.handle("GET /v1/metrics", "metrics", false, s.handleMetrics)
 	s.handle("POST /v1/purge", "purge", false, s.handlePurge)
 	s.handle("POST "+remote.SessionPath, "run_session", true, s.handleRunSession)
+	s.handle("POST "+remote.SessionBatchPath, "run_sessions", true, s.handleRunSessionBatch)
 	s.handle("POST "+remote.SweepPath, "run_sweep", true, s.handleRunSweep)
 	s.mux.HandleFunc("GET /v1/progress", s.handleProgress) // streams; self-instrumented
 	return s
@@ -122,17 +184,24 @@ func notFound(format string, args ...any) error {
 }
 
 // handle registers a handler with metrics and, for expensive
-// endpoints, bounded admission.
+// endpoints, doubly bounded admission: MaxInFlight requests run,
+// at most MaxQueue more wait, and anything past both is shed with
+// 429 + Retry-After — overload degrades to fast rejections, never
+// to an unbounded queue.
 func (s *Server) handle(pattern, endpoint string, expensive bool, h func(w http.ResponseWriter, r *http.Request) error) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		if expensive {
-			select {
-			case s.sem <- struct{}{}:
-				defer func() { <-s.sem }()
-			case <-r.Context().Done():
-				// Client gave up while queued; nothing to write.
-				s.metrics.record(endpoint, time.Since(start), true)
+			if !s.admit(w, r, endpoint) {
+				return
+			}
+			defer func() { <-s.sem }()
+			if r.Context().Err() != nil {
+				// The client gave up between admission and compute:
+				// don't spend a campaign on a response nobody will
+				// read, and don't book the disconnect as a server
+				// error.
+				s.metrics.recordCanceled(endpoint, time.Since(start))
 				return
 			}
 		}
@@ -146,6 +215,38 @@ func (s *Server) handle(pattern, endpoint string, expensive bool, h func(w http.
 			writeJSON(w, status, map[string]string{"error": err.Error()})
 		}
 	})
+}
+
+// retryAfterSeconds is the Retry-After hint on shed responses: one
+// admission slot's typical turnaround at quick scale.
+const retryAfterSeconds = "1"
+
+// admit acquires an admission slot, reporting false (with the
+// response already written or abandoned) when the request was shed
+// or the client gave up while queued.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true // free slot: no queuing, no shed check
+	default:
+	}
+	if n := s.waiting.Add(1); int(n) > s.cfg.MaxQueue {
+		s.waiting.Add(-1)
+		s.metrics.recordShed(endpoint)
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeJSON(w, http.StatusTooManyRequests,
+			map[string]string{"error": "admission queue full; retry later"})
+		return false
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		// Client gave up while queued; nothing to write.
+		s.metrics.recordCanceled(endpoint, 0)
+		return false
+	}
 }
 
 // writeJSON emits one canonical JSON document: compact encoding plus
@@ -164,6 +265,61 @@ func writeJSON(w http.ResponseWriter, status int, v any) error {
 	return nil
 }
 
+// ETag namespaces version the request-identity encoding behind each
+// artefact endpoint's ETag.  They are distinct from the campaign
+// store's namespaces: an ETag names a response shape, not a stored
+// record.
+const (
+	studyETagNamespace    = "http/study/v1"
+	artefactETagNamespace = "http/artefact/v1"
+)
+
+// etagFor derives a strong ETag from the canonical content address of
+// a response's request identity.  Artefact responses are pure
+// functions of that identity, so the tag is computable before any
+// campaign work — revalidation costs nothing even when computing the
+// response would not.
+func etagFor(namespace string, v any) string {
+	key, err := store.Key(namespace, v)
+	if err != nil {
+		return "" // unencodable identity: skip conditional handling
+	}
+	return `"` + key + `"`
+}
+
+// clientHasETag reports whether the request's If-None-Match matches
+// etag.  Weak-prefixed tags compare equal to their strong form: the
+// byte-identical-responses discipline makes every match semantically
+// exact.
+func clientHasETag(r *http.Request, etag string) bool {
+	if etag == "" {
+		return false
+	}
+	for _, c := range strings.Split(r.Header.Get("If-None-Match"), ",") {
+		c = strings.TrimSpace(c)
+		c = strings.TrimPrefix(c, "W/")
+		if c == etag || c == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeNotModified sets the ETag header and, when the client already
+// holds the current representation, answers 304 — reporting true so
+// the handler skips the campaign entirely.
+func maybeNotModified(w http.ResponseWriter, r *http.Request, etag string) bool {
+	if etag == "" {
+		return false
+	}
+	w.Header().Set("ETag", etag)
+	if clientHasETag(r, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	return false
+}
+
 // scaleParam resolves the scale query parameter (default quick).
 func scaleParam(r *http.Request) (string, core.StudyConfig, error) {
 	scale := r.FormValue("scale")
@@ -175,15 +331,6 @@ func scaleParam(r *http.Request) (string, core.StudyConfig, error) {
 		return "", core.StudyConfig{}, badRequest("%v", err)
 	}
 	return scale, cfg, nil
-}
-
-// study runs (or fetches) the campaign for a request's scale.
-func (s *Server) study(r *http.Request) (string, *core.Study, error) {
-	scale, cfg, err := scaleParam(r)
-	if err != nil {
-		return "", nil, err
-	}
-	return scale, s.cache.Get(cfg, s.cfg.Workers), nil
 }
 
 // HealthzResponse is the /v1/healthz body.
@@ -228,10 +375,14 @@ type StudyResponse struct {
 }
 
 func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) error {
-	scale, st, err := s.study(r)
+	scale, cfg, err := scaleParam(r)
 	if err != nil {
 		return err
 	}
+	if maybeNotModified(w, r, etagFor(studyETagNamespace, cfg)) {
+		return nil
+	}
+	st := s.cache.Get(cfg, s.cfg.Workers)
 	resp := StudyResponse{Scale: scale, Config: st.Config}
 	resp.Sessions.Random = len(st.Random)
 	resp.Sessions.HighConc = len(st.HighConc)
@@ -256,29 +407,49 @@ type ArtefactResponse struct {
 	Text  string `json:"text"`
 }
 
+// artefactIdentity is the request identity behind a table or figure
+// ETag: everything the rendered text is a function of.  Name is
+// lowercased so the case-insensitive spellings of one artefact share
+// one ETag.
+type artefactIdentity struct {
+	Kind   string
+	Name   string
+	Config core.StudyConfig
+}
+
 func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) error {
-	scale, st, err := s.study(r)
+	scale, cfg, err := scaleParam(r)
 	if err != nil {
 		return err
 	}
 	name := r.PathValue("name")
-	text, ok := experiments.RenderTable(name, st)
-	if !ok {
+	if !experiments.HasTable(name) {
 		return notFound("unknown table %q (valid tables: %v)", name, experiments.Names(experiments.Tables()))
 	}
+	id := artefactIdentity{Kind: "table", Name: strings.ToLower(name), Config: cfg}
+	if maybeNotModified(w, r, etagFor(artefactETagNamespace, id)) {
+		return nil
+	}
+	st := s.cache.Get(cfg, s.cfg.Workers)
+	text, _ := experiments.RenderTable(name, st)
 	return writeJSON(w, http.StatusOK, ArtefactResponse{Kind: "table", Name: name, Scale: scale, Text: text})
 }
 
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) error {
-	scale, st, err := s.study(r)
+	scale, cfg, err := scaleParam(r)
 	if err != nil {
 		return err
 	}
 	name := r.PathValue("name")
-	text, ok := experiments.RenderFigure(name, st)
-	if !ok {
+	if !experiments.HasFigure(name) {
 		return notFound("unknown figure %q (valid figures: %v)", name, experiments.Names(experiments.Figures()))
 	}
+	id := artefactIdentity{Kind: "figure", Name: strings.ToLower(name), Config: cfg}
+	if maybeNotModified(w, r, etagFor(artefactETagNamespace, id)) {
+		return nil
+	}
+	st := s.cache.Get(cfg, s.cfg.Workers)
+	text, _ := experiments.RenderFigure(name, st)
 	return writeJSON(w, http.StatusOK, ArtefactResponse{Kind: "figure", Name: name, Scale: scale, Text: text})
 }
 
@@ -300,6 +471,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) error {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
 			return badRequest("samples must be a positive integer, got %q", v)
+		}
+		if n > s.cfg.MaxSweepSamples {
+			return badRequest("samples %d exceeds the %d-sample bound", n, s.cfg.MaxSweepSamples)
 		}
 		samples = n
 	}
@@ -386,6 +560,46 @@ func (s *Server) handleRunSession(w http.ResponseWriter, r *http.Request) error 
 	res, err := store.GetOrComputeJSON(s.cache.Store(), sessionUnitNamespace, unit, func() (core.StudyUnitResult, error) {
 		return core.RunStudyUnit(unit)
 	})
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, res)
+}
+
+// maxBatchBody bounds a /v1/run/sessions request body; even a
+// full-size batch of unit configurations is far below this.
+const maxBatchBody = 8 << 20
+
+// handleRunSessionBatch executes many session units in one request,
+// amortizing the per-unit HTTP round trip.  Each unit flows through
+// the same sessionUnitNamespace cache as the single-unit endpoint, so
+// a batched result is byte-identical to its unbatched equivalent and
+// duplicates (re-routes, hedges, unbatched retries) never recompute.
+func (s *Server) handleRunSessionBatch(w http.ResponseWriter, r *http.Request) error {
+	var units []core.StudyUnit
+	body := http.MaxBytesReader(w, r.Body, maxBatchBody)
+	if err := json.NewDecoder(body).Decode(&units); err != nil {
+		return badRequest("decoding work units: %v", err)
+	}
+	if len(units) == 0 {
+		return badRequest("empty session batch")
+	}
+	if len(units) > s.cfg.MaxBatchUnits {
+		return badRequest("batch of %d units exceeds the %d-unit bound", len(units), s.cfg.MaxBatchUnits)
+	}
+	for _, u := range units {
+		if u.Random == nil && u.Triggered == nil {
+			return badRequest("session unit %d has no spec", u.ID)
+		}
+	}
+	runner := engine.Local[core.StudyUnit, core.StudyUnitResult]{
+		Fn: func(u core.StudyUnit) (core.StudyUnitResult, error) {
+			return store.GetOrComputeJSON(s.cache.Store(), sessionUnitNamespace, u, func() (core.StudyUnitResult, error) {
+				return core.RunStudyUnit(u)
+			})
+		},
+	}
+	res, err := engine.RunAll(r.Context(), s.cfg.Workers, units, runner, nil)
 	if err != nil {
 		return err
 	}
