@@ -55,10 +55,11 @@ bench:
 	$(call bench_layer,BENCH_monitor.json,CollectSample|DASObserve,./internal/monitor,-benchtime $(BENCHTIME) -count 3)
 	$(call bench_layer,BENCH_core.json,RunRandomSession|RunTriggeredSession,./internal/core,-benchtime 10x -count 2)
 	$(call bench_layer,BENCH_experiments.json,SweepPoint,./internal/experiments,-benchtime 5x -count 2)
-	$(call bench_layer,BENCH_service.json,ServiceStudy,./internal/service,-benchtime 20x -count 2)
+	$(call bench_layer,BENCH_service.json,ServiceStudy|MetricsRecord,./internal/service,-benchtime 20x -count 2)
+	$(call bench_layer,BENCH_obs.json,HistogramObserve|PrometheusRender|MutexMapRecord|TracerRecord,./internal/obs,-benchtime $(BENCHTIME) -count 3)
 	$(call bench_layer,BENCH_study.json,RunStudy,./internal/core,-benchtime 1x -count 3)
 	@rm -f .bench.tmp
-	$(GO) run ./cmd/benchdiff -print BENCH_fx8.json BENCH_concentrix.json BENCH_monitor.json BENCH_core.json BENCH_experiments.json BENCH_service.json BENCH_study.json
+	$(GO) run ./cmd/benchdiff -print BENCH_fx8.json BENCH_concentrix.json BENCH_monitor.json BENCH_core.json BENCH_experiments.json BENCH_service.json BENCH_obs.json BENCH_study.json
 
 # bench-load measures the fx8d service under open-loop traffic with
 # cmd/loadgen: steady and bursty arrivals over the artefact, unit and

@@ -8,7 +8,13 @@
 // Usage:
 //
 //	fx8d [-addr HOST:PORT] [-cache DIR] [-workers N] [-max-inflight N]
-//	     [-max-queue N] [-cache-max-bytes N]
+//	     [-max-queue N] [-cache-max-bytes N] [-debug-addr HOST:PORT]
+//	     [-access-log]
+//
+// -debug-addr starts a second listener serving net/http/pprof
+// (/debug/pprof/) — profiling stays off the service port and off by
+// default.  -access-log emits one structured log line per request to
+// stderr, carrying the request ID that GET /v1/trace/{id} keys on.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests.  See internal/service for the endpoint list.
@@ -20,8 +26,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,6 +61,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "parallel session workers per campaign (0 = one per CPU)")
 	inflight := fs.Int("max-inflight", 4, "concurrently admitted expensive requests")
 	maxQueue := fs.Int("max-queue", 0, "expensive requests allowed to wait for admission before 429s (0 = 4x max-inflight)")
+	debugAddr := fs.String("debug-addr", "", "listen address for the pprof debug server (empty = disabled)")
+	accessLog := fs.Bool("access-log", false, "log one structured line per request to stderr")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
@@ -73,12 +83,29 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "campaign store: %s\n", s.Dir())
 	}
 
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		Cache:       cache,
 		Workers:     *workers,
 		MaxInFlight: *inflight,
 		MaxQueue:    *maxQueue,
-	})
+	}
+	if *accessLog {
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	srv := service.New(cfg)
+
+	if *debugAddr != "" {
+		// pprof registers on http.DefaultServeMux; serving it from a
+		// second listener keeps profiling endpoints off the service
+		// port entirely.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer dln.Close()
+		go http.Serve(dln, http.DefaultServeMux) //nolint:errcheck // dies with the process
+		fmt.Fprintf(stdout, "fx8d debug (pprof) on %s\n", dln.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -100,3 +100,60 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Error("unlistenable address should error")
 	}
 }
+
+// TestDebugAddrServesPprof boots the daemon with a debug listener and
+// checks the pprof index answers there, not on the service port.
+func TestDebugAddrServesPprof(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuilder
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0"}, &out)
+	}()
+
+	var addr, debugAddr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" || debugAddr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its addresses; output: %q", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "fx8d listening on "); ok {
+				addr = rest
+			}
+			if rest, ok := strings.CutPrefix(line, "fx8d debug (pprof) on "); ok {
+				debugAddr = rest
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", debugAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof on debug listener = %d, want 200", resp.StatusCode)
+	}
+
+	svc, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Body.Close()
+	if svc.StatusCode == http.StatusOK {
+		t.Error("pprof reachable on the service port; want it confined to -debug-addr")
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Errorf("daemon exit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down after cancel")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/fastrand"
 	"repro/internal/monitor"
 	"repro/internal/perf"
+	"repro/internal/service"
 )
 
 // Arrival processes and request mixes a scenario can combine.
@@ -75,6 +76,53 @@ type loadReport struct {
 	// SaturationRPS is set by the -saturate ramp: the highest measured
 	// throughput the target sustained within the ramp's SLO.
 	SaturationRPS float64 `json:"saturation_rps,omitempty"`
+
+	// Server-side deltas, scraped from the target's /v1/metrics
+	// before and after the measured window.  The client sees a 429;
+	// the server knows why — these fold the daemon's own accounting
+	// (sheds booked, cache and store hit rates) into the load report.
+	// Absent (ServerScraped false) when the target's metrics endpoint
+	// was unreachable; a scrape failure never fails the run.
+	ServerScraped bool    `json:"server_scraped,omitempty"`
+	ServerShed    int     `json:"server_shed,omitempty"`
+	ServerHitRate float64 `json:"server_hit_rate,omitempty"`
+}
+
+// serverSample is the slice of the daemon's /v1/metrics document the
+// harness diffs across the measured window.
+type serverSample struct {
+	shed         uint64 // requests the daemon shed with 429
+	hits, misses uint64 // campaign-cache + store outcomes
+}
+
+// scrapeServer fetches the target's JSON metrics document, reporting
+// ok == false on any failure (absent endpoint, old daemon, transport
+// error) so callers can silently skip the server-side columns.
+func scrapeServer(client *http.Client, baseURL string) (serverSample, bool) {
+	resp, err := client.Get(baseURL + "/v1/metrics")
+	if err != nil {
+		return serverSample{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return serverSample{}, false
+	}
+	var m service.MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return serverSample{}, false
+	}
+	var s serverSample
+	for _, ep := range m.Endpoints {
+		s.shed += ep.Shed
+	}
+	s.hits = m.Cache.MemoryHits + m.Cache.DiskHits
+	s.misses = m.Cache.Computes
+	if m.Store != nil {
+		s.hits += m.Store.Hits
+		s.misses += m.Store.Misses
+	}
+	return s, true
 }
 
 // arrivals is the deterministic open-loop arrival process: a virtual
@@ -264,9 +312,11 @@ func runLoad(cfg loadConfig) (*loadReport, error) {
 		l.drive(newArrivals(cfg.Seed^1, cfg.Arrival, cfg.Rate), cfg.Warmup, false)
 	}
 
+	before, scrapedBefore := scrapeServer(l.client, cfg.BaseURL)
 	start := time.Now()
 	offered := l.drive(newArrivals(cfg.Seed, cfg.Arrival, cfg.Rate), cfg.Duration, true)
 	elapsed := time.Since(start)
+	after, scrapedAfter := scrapeServer(l.client, cfg.BaseURL)
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -287,6 +337,14 @@ func runLoad(cfg loadConfig) (*loadReport, error) {
 		rep.Throughput = float64(l.completed) / elapsed.Seconds()
 	}
 	rep.P50, rep.P95, rep.P99, rep.Max = percentiles(l.lats)
+	if scrapedBefore && scrapedAfter {
+		rep.ServerScraped = true
+		rep.ServerShed = int(after.shed - before.shed)
+		hits := after.hits - before.hits
+		if total := hits + (after.misses - before.misses); total > 0 {
+			rep.ServerHitRate = float64(hits) / float64(total)
+		}
+	}
 	return rep, nil
 }
 
@@ -421,6 +479,10 @@ func (r *loadReport) perfResult() perf.Result {
 	if r.SaturationRPS > 0 {
 		metrics["saturation-rps"] = r.SaturationRPS
 	}
+	if r.ServerScraped {
+		metrics["server-shed"] = float64(r.ServerShed)
+		metrics["server-hit-rate"] = r.ServerHitRate
+	}
 	return perf.Result{
 		Name:       "Load" + camel(r.Scenario),
 		Iterations: int64(r.Completed),
@@ -456,6 +518,9 @@ func (r *loadReport) summarize(w io.Writer) {
 	}
 	if r.SaturationRPS > 0 {
 		fmt.Fprintf(w, "  saturation ~%.0f rps", r.SaturationRPS)
+	}
+	if r.ServerScraped {
+		fmt.Fprintf(w, "  [server: %d shed, %.0f%% hit rate]", r.ServerShed, r.ServerHitRate*100)
 	}
 	fmt.Fprintln(w)
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/perf"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // bootTestDaemon boots a loopback fx8d sized by cfg for one test.
@@ -85,7 +86,15 @@ func TestPercentiles(t *testing.T) {
 
 func TestRunLoadUnitsMix(t *testing.T) {
 	t.Parallel()
-	base := bootTestDaemon(t, service.Config{MaxInFlight: 8})
+	// A store-backed cache so unit results are cacheable — the
+	// server-side hit-rate column needs a disk tier to count against.
+	cache := core.NewStudyCache()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.SetStore(st)
+	base := bootTestDaemon(t, service.Config{MaxInFlight: 8, Cache: cache})
 	rep, err := runLoad(loadConfig{
 		Scenario: "steady-units",
 		Arrival:  arrivalSteady,
@@ -110,6 +119,14 @@ func TestRunLoadUnitsMix(t *testing.T) {
 	}
 	if rep.Throughput <= 0 {
 		t.Errorf("throughput = %g", rep.Throughput)
+	}
+	if !rep.ServerScraped {
+		t.Error("server-side metrics not scraped from a live daemon")
+	}
+	// The warmup primed every unit into the daemon's store, so the
+	// measured window's units are served as cache hits.
+	if rep.ServerHitRate <= 0 {
+		t.Errorf("server hit rate = %g, want > 0 after a priming warmup", rep.ServerHitRate)
 	}
 }
 
@@ -176,6 +193,11 @@ func TestOverloadObserves429WithRetryAfter(t *testing.T) {
 	}
 	if rep.Errors != 0 {
 		t.Errorf("errors = %d; sheds must not be booked as errors", rep.Errors)
+	}
+	// The daemon's own shed accounting corroborates the client's 429
+	// count: every shed the client saw was booked server-side.
+	if rep.ServerScraped && rep.ServerShed < rep.Shed {
+		t.Errorf("server booked %d sheds, client saw %d", rep.ServerShed, rep.Shed)
 	}
 }
 

@@ -26,6 +26,16 @@
 // one Map call (core's session arenas) uses a sync.Pool instead,
 // which degenerates to the same per-worker ownership under a pool
 // because each goroutine re-Gets the arena it just Put.
+//
+// # Instrumentation
+//
+// Every pool books its units through process-wide atomic counters —
+// queue depth, in-flight units, cumulative worker busy time —
+// snapshotted by Stats().  The fx8d service exports these through
+// /v1/metrics; the engine itself depends on nothing, so the
+// accounting costs a handful of atomics and two clock reads per
+// unit, invisible next to units that each simulate millions of
+// machine cycles.
 package engine
 
 import (
@@ -34,11 +44,67 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultWorkers returns the default degree of parallelism: one worker
 // per available CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// poolStats is the engine's process-wide instrumentation: every Map
+// variant books units through these atomics, so the service's
+// /v1/metrics can report queue depth, in-flight units and worker
+// busy time without the engine knowing the service exists.  The cost
+// is a few atomic adds and two clock reads per unit — noise against
+// units that each simulate millions of machine cycles.
+var poolStats struct {
+	started   atomic.Uint64
+	completed atomic.Uint64
+	busyNs    atomic.Int64
+	inFlight  atomic.Int64
+	queued    atomic.Int64
+	pools     atomic.Uint64
+}
+
+// PoolStats snapshots the engine's cumulative work accounting across
+// every pool the process has run.
+type PoolStats struct {
+	UnitsStarted   uint64 // units handed to a worker
+	UnitsCompleted uint64 // units that returned normally
+	InFlight       int64  // units executing right now
+	Queued         int64  // units accepted by a pool but not yet started
+	BusyNs         int64  // cumulative worker time spent inside units
+	Pools          uint64 // Map/RunAll invocations
+}
+
+// Stats returns a snapshot of the engine's work accounting.  Gauges
+// (InFlight, Queued) are instantaneous; the rest are cumulative since
+// process start.
+func Stats() PoolStats {
+	return PoolStats{
+		UnitsStarted:   poolStats.started.Load(),
+		UnitsCompleted: poolStats.completed.Load(),
+		InFlight:       poolStats.inFlight.Load(),
+		Queued:         poolStats.queued.Load(),
+		BusyNs:         poolStats.busyNs.Load(),
+		Pools:          poolStats.pools.Load(),
+	}
+}
+
+// runUnit books one unit's execution around fn: queue leave,
+// in-flight window, busy time, completion.
+func runUnit(run func()) {
+	poolStats.queued.Add(-1)
+	poolStats.started.Add(1)
+	poolStats.inFlight.Add(1)
+	t0 := time.Now()
+	defer func() {
+		poolStats.busyNs.Add(int64(time.Since(t0)))
+		poolStats.inFlight.Add(-1)
+	}()
+	run()
+	poolStats.completed.Add(1)
+}
 
 // clamp resolves a requested worker count against the number of units:
 // zero or negative means DefaultWorkers, and there is never a reason
@@ -107,10 +173,21 @@ func mapPool[S, T any](workers, n int, newState func() S, fn func(s S, i int) T,
 	}
 	out := make([]T, n)
 	workers = clamp(workers, n)
+
+	// Work accounting: n units enter the queue now; each leaves it as
+	// a worker picks it up (runUnit), and whatever never started —
+	// units abandoned after a panic — is drained on the way out so
+	// the queue gauge always returns to zero.
+	poolStats.pools.Add(1)
+	poolStats.queued.Add(int64(n))
+	var started atomic.Int64
+	defer func() { poolStats.queued.Add(started.Load() - int64(n)) }()
+
 	if workers == 1 {
 		s := newState()
 		for i := range out {
-			out[i] = fn(s, i)
+			started.Add(1)
+			runUnit(func() { out[i] = fn(s, i) })
 			if progress != nil {
 				progress(i+1, n)
 			}
@@ -140,7 +217,8 @@ func mapPool[S, T any](workers, n int, newState func() S, fn func(s S, i int) T,
 							panicked.CompareAndSwap(nil, &r)
 						}
 					}()
-					out[i] = fn(s, i)
+					started.Add(1)
+					runUnit(func() { out[i] = fn(s, i) })
 					return true
 				}()
 				// A panicked unit is not counted, so done can never

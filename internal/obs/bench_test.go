@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkHistogramObserve measures the sequential record path —
+// the per-request cost every instrumented endpoint pays.  make bench
+// records it in BENCH_obs.json for the CI regression gate.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) * 1000)
+	}
+}
+
+// BenchmarkHistogramObserveParallel measures the contended record
+// path: many goroutines observing one histogram, the shape a loaded
+// daemon produces.  Shard striping is what keeps this flat as
+// parallelism grows.
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewHistogram(nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(17)
+		for pb.Next() {
+			v += 40_503 // vary observations so shards spread
+			h.Observe(v % int64(time.Second))
+		}
+	})
+}
+
+// BenchmarkPrometheusRender measures a full scrape render of a
+// realistically sized registry (a dozen endpoint families).
+func BenchmarkPrometheusRender(b *testing.B) {
+	r := NewRegistry()
+	for _, ep := range []string{"study", "tables", "figures", "sweep", "metrics", "healthz",
+		"purge", "run_session", "run_sessions", "run_sweep", "progress", "trace"} {
+		labels := Labels{"endpoint": ep}
+		r.Counter("fx8d_requests_total", "requests", labels).Add(12345)
+		h := r.Histogram("fx8d_request_duration_seconds", "latency", labels, nil, 1e-9)
+		for i := 0; i < 256; i++ {
+			h.Observe(int64(i) * int64(time.Millisecond) / 4)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMutexMapRecord is the "before" shape of the service's old
+// metrics.record: one global mutex around a map of per-endpoint
+// structs, taken on every request.  It exists as the baseline the
+// sharded-histogram replacement (BenchmarkHistogramObserveParallel
+// and the service's BenchmarkMetricsRecord) is measured against.
+func BenchmarkMutexMapRecord(b *testing.B) {
+	var mu sync.Mutex
+	type row struct {
+		requests uint64
+		total    time.Duration
+		max      time.Duration
+	}
+	per := map[string]*row{"study": {}}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := time.Microsecond
+		for pb.Next() {
+			d += 37 * time.Nanosecond
+			mu.Lock()
+			r := per["study"]
+			r.requests++
+			r.total += d
+			if d > r.max {
+				r.max = d
+			}
+			mu.Unlock()
+		}
+	})
+}
+
+// BenchmarkTracerRecord measures span recording under one shared
+// request ID — the sharded-campaign shape where every unit of one
+// trace lands on the same tracer shard.
+func BenchmarkTracerRecord(b *testing.B) {
+	tr := NewTracer(0)
+	id := strings.Repeat("a", 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%maxSpansPerTrace == 0 {
+			id = NewRequestID() // stay under the per-trace span bound
+		}
+		tr.Record(id, Span{Name: "run_session", Outcome: "ok"})
+	}
+}

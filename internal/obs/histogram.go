@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBounds are histogram bucket upper bounds (in
+// nanoseconds) spanning 50µs to 30s — wide enough for a cached
+// artefact read and a cold paper-scale campaign alike.  Bounds are
+// inclusive: an observation lands in the first bucket whose bound it
+// does not exceed.
+var DefaultLatencyBounds = []int64{
+	int64(50 * time.Microsecond),
+	int64(100 * time.Microsecond),
+	int64(250 * time.Microsecond),
+	int64(500 * time.Microsecond),
+	int64(1 * time.Millisecond),
+	int64(2500 * time.Microsecond),
+	int64(5 * time.Millisecond),
+	int64(10 * time.Millisecond),
+	int64(25 * time.Millisecond),
+	int64(50 * time.Millisecond),
+	int64(100 * time.Millisecond),
+	int64(250 * time.Millisecond),
+	int64(500 * time.Millisecond),
+	int64(1 * time.Second),
+	int64(2500 * time.Millisecond),
+	int64(5 * time.Second),
+	int64(10 * time.Second),
+	int64(30 * time.Second),
+}
+
+// histShards is the number of independent shards an observation may
+// land in.  Shards exist purely to spread concurrent writers across
+// cache lines; snapshots sum them.  Must be a power of two.
+const histShards = 8
+
+// histShard is one shard's counters, padded so two shards never
+// share a cache line (the whole point of sharding).
+type histShard struct {
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Int64
+	count  atomic.Uint64
+	max    atomic.Int64
+	_      [32]byte // pad the hot fields away from the next shard
+}
+
+// Histogram is a fixed-bucket histogram of int64 observations
+// (typically latencies in nanoseconds).  Observations are a bucket
+// search plus four atomic adds on one of histShards shards — no
+// locks, no allocation — so concurrent request goroutines never
+// serialize on it.  The zero value is not usable; construct with
+// NewHistogram.
+type Histogram struct {
+	bounds []int64
+	shards [histShards]histShard
+}
+
+// NewHistogram returns a histogram over the given strictly
+// increasing bucket upper bounds (nil means
+// DefaultLatencyBounds).  The implicit final bucket is +Inf.
+func NewHistogram(bounds []int64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds
+	}
+	h := &Histogram{bounds: bounds}
+	for i := range h.shards {
+		h.shards[i].counts = make([]atomic.Uint64, len(bounds)+1)
+	}
+	return h
+}
+
+// mix is splitmix64's finalizer: it turns an observation's noisy low
+// bits into a shard index, spreading concurrent writers across
+// shards without any shared state (a round-robin counter would
+// itself be a contended atomic).
+func mix(v uint64) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	s := &h.shards[mix(uint64(v))&(histShards-1)]
+	// Bucket search: the bound list is short (≈18), so a linear scan
+	// beats binary search's branch misses for the common small
+	// latencies; sort.Search would also allocate nothing, but this is
+	// simpler and measurably cheaper at the low end.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	s.counts[i].Add(1)
+	s.sum.Add(v)
+	s.count.Add(1)
+	for {
+		old := s.max.Load()
+		if v <= old || s.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+// Counts are per-bucket (not cumulative); Counts[len(Bounds)] is the
+// +Inf bucket.
+type HistogramSnapshot struct {
+	Bounds []int64
+	Counts []uint64
+	Sum    int64
+	Count  uint64
+	Max    int64
+}
+
+// Snapshot sums the shards.  Concurrent observations may land
+// between shard reads, so Sum/Count/Counts are each internally
+// consistent but only approximately mutually so — the usual contract
+// of lock-free scrapes.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.bounds)+1),
+	}
+	for i := range h.shards {
+		s := &h.shards[i]
+		for j := range snap.Counts {
+			snap.Counts[j] += s.counts[j].Load()
+		}
+		snap.Sum += s.sum.Load()
+		snap.Count += s.count.Load()
+		if m := s.max.Load(); m > snap.Max {
+			snap.Max = m
+		}
+	}
+	return snap
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation within the bucket holding the q-th observation.  The
+// +Inf bucket reports the observed max; an empty histogram reports
+// 0.  Estimates inherit the bucket resolution — exact enough for the
+// p50/p95/p99 the load gates watch, not for microsecond forensics.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	cum := uint64(0)
+	for i, c := range s.Counts {
+		if cum+c >= rank {
+			if i == len(s.Bounds) {
+				return s.Max // +Inf bucket: best estimate is the max
+			}
+			lo := int64(0)
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			if hi > s.Max {
+				hi = s.Max // never report past the observed max
+			}
+			if hi < lo {
+				return lo
+			}
+			frac := float64(rank-cum) / float64(c)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return s.Max
+}
+
+// Quantiles returns the p50, p95 and p99 estimates in one pass over
+// a snapshot — the triple every latency report in the repo wants.
+func (s HistogramSnapshot) Quantiles() (p50, p95, p99 int64) {
+	return s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99)
+}
+
+// ExponentialBounds returns n strictly increasing bounds growing
+// geometrically from min to max — a helper for histograms whose
+// range is known but whose shape is not latency-like.
+func ExponentialBounds(min, max int64, n int) []int64 {
+	if n < 2 || min <= 0 || max <= min {
+		return []int64{min, max}
+	}
+	ratio := math.Pow(float64(max)/float64(min), 1/float64(n-1))
+	out := make([]int64, 0, n)
+	v := float64(min)
+	for i := 0; i < n; i++ {
+		b := int64(math.Round(v))
+		if len(out) > 0 && b <= out[len(out)-1] {
+			b = out[len(out)-1] + 1
+		}
+		out = append(out, b)
+		v *= ratio
+	}
+	if out[n-1] < max {
+		out[n-1] = max
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+// Package obs is the repo's telemetry substrate: dependency-free
+// counters, gauges and latency histograms, a registry that renders
+// Prometheus text exposition, and a bounded request tracer.  The
+// source paper's whole premise is that a monitor must observe a
+// running machine without perturbing it; obs applies the same
+// discipline to the serving stack — every recording primitive is a
+// handful of atomic operations, never a lock shared across request
+// goroutines, so instrumentation costs ≈nothing on the hot path.
+//
+// The package deliberately imports nothing outside the standard
+// library (CI asserts this), so any layer — engine, store, remote,
+// service — can depend on it without dependency cycles or bloat.
+//
+// # Primitives
+//
+//   - Counter: a monotonically increasing atomic count.
+//   - Gauge: an instantaneous atomic level (can go down).
+//   - Histogram: a fixed-bucket latency histogram with sharded
+//     atomic bucket counters and p50/p95/p99 estimation; see
+//     histogram.go.
+//   - Tracer: a bounded per-request-ID span store; see trace.go.
+//
+// # Registry
+//
+// A Registry names metrics, groups them into families, and renders
+// the whole set in Prometheus text exposition format (version
+// 0.0.4).  Callers that need a custom JSON shape — the fx8d service
+// preserves its historical /v1/metrics document — snapshot the same
+// primitives and marshal them however they like; the registry's job
+// is only the Prometheus side.  Func variants (CounterFunc,
+// GaugeFunc) export counters owned elsewhere (store.Stats,
+// engine.Stats) without double bookkeeping.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.  The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous level.  The zero value is ready to use;
+// all methods are safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the level by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Labels are one series' label set.  Registration copies them;
+// mutating the map afterwards has no effect.
+type Labels map[string]string
+
+// metricKind is the Prometheus TYPE of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// series is one labeled instance within a family.  Exactly one of
+// the value fields is set.
+type series struct {
+	labels  string // pre-rendered {k="v",...} or ""
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// family is one metric name with its help text, type and series.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	scale  float64 // histogram value -> exposition unit (e.g. 1e-9 ns->s)
+	series []series
+}
+
+// Registry names metrics and renders them as Prometheus text
+// exposition.  Register everything at setup time; registration takes
+// a lock, but reads of registered metrics never do.  The zero value
+// is ready to use.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+	ord  []string // registration order of family names
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) add(name, help string, kind metricKind, scale float64, s series) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fams == nil {
+		r.fams = make(map[string]*family)
+	}
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, scale: scale}
+		r.fams[name] = f
+		r.ord = append(r.ord, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.kind, kind))
+	}
+	f.series = append(f.series, s)
+	return f
+}
+
+// Counter registers and returns a counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	c := &Counter{}
+	r.add(name, help, kindCounter, 1, series{labels: renderLabels(labels), counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// render time — the bridge for counters owned by other packages.
+// fn must be safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.add(name, help, kindCounter, 1, series{labels: renderLabels(labels), fn: fn})
+}
+
+// Gauge registers and returns a gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	g := &Gauge{}
+	r.add(name, help, kindGauge, 1, series{labels: renderLabels(labels), gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at render
+// time.  fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.add(name, help, kindGauge, 1, series{labels: renderLabels(labels), fn: fn})
+}
+
+// Histogram registers and returns a histogram series recording int64
+// observations (typically nanoseconds) into the given bucket upper
+// bounds; scale converts recorded units to exposition units — 1e-9
+// renders nanosecond observations as Prometheus-conventional seconds.
+func (r *Registry) Histogram(name, help string, labels Labels, bounds []int64, scale float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.add(name, help, kindHistogram, scale, series{labels: renderLabels(labels), hist: h})
+	return h
+}
+
+// renderLabels pre-renders a label set as `{k="v",...}`, keys
+// sorted, values escaped per the exposition format.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// withLabel splices an extra label (histograms' le) into a
+// pre-rendered label string.
+func withLabel(labels, k, v string) string {
+	extra := k + `="` + v + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family in text exposition
+// format (version 0.0.4): families in registration order, a HELP and
+// TYPE line each, series in registration order, histograms as
+// cumulative _bucket/_sum/_count series.  Safe to call concurrently
+// with recording.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.ord))
+	for _, name := range r.ord {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		for _, s := range f.series {
+			switch {
+			case s.counter != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(float64(s.counter.Value())))
+			case s.gauge != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(float64(s.gauge.Value())))
+			case s.fn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(s.fn()))
+			case s.hist != nil:
+				writeHistogram(&b, f, s)
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram series: cumulative buckets
+// (le-labeled, ending at +Inf), then _sum and _count.
+func writeHistogram(b *strings.Builder, f *family, s series) {
+	snap := s.hist.Snapshot()
+	cum := uint64(0)
+	for i, bound := range snap.Bounds {
+		cum += snap.Counts[i]
+		le := formatValue(float64(bound) * f.scale)
+		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, withLabel(s.labels, "le", le), cum)
+	}
+	cum += snap.Counts[len(snap.Bounds)]
+	fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, withLabel(s.labels, "le", "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", f.name, s.labels, formatValue(float64(snap.Sum)*f.scale))
+	fmt.Fprintf(b, "%s_count%s %d\n", f.name, s.labels, snap.Count)
+}

@@ -1,0 +1,348 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	t.Parallel()
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestHistogramBucketsSumCountMax(t *testing.T) {
+	t.Parallel()
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Bounds are inclusive: 10 lands in the first bucket, 11 in the
+	// second, 5000 in +Inf.
+	want := []uint64{2, 2, 0, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 1+10+11+100+5000 {
+		t.Errorf("sum = %d", s.Sum)
+	}
+	if s.Max != 5000 {
+		t.Errorf("max = %d, want 5000", s.Max)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	t.Parallel()
+	h := NewHistogram([]int64{100, 200, 300, 400})
+	// 100 observations spread uniformly over (0, 400]: quantile
+	// estimates should land within one bucket of the true value.
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(4 * i))
+	}
+	s := h.Snapshot()
+	p50, p95, p99 := s.Quantiles()
+	if p50 < 100 || p50 > 200 {
+		t.Errorf("p50 = %d, want within (100, 200]", p50)
+	}
+	if p95 < 300 || p95 > 400 {
+		t.Errorf("p95 = %d, want within (300, 400]", p95)
+	}
+	if p99 < 300 || p99 > 400 {
+		t.Errorf("p99 = %d, want within (300, 400]", p99)
+	}
+	// Quantiles never exceed the observed max.
+	h2 := NewHistogram([]int64{1000})
+	h2.Observe(5)
+	if q := h2.Snapshot().Quantile(0.99); q > 5 {
+		t.Errorf("quantile %d exceeds observed max 5", q)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty snapshot quantile should be 0")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	t.Parallel()
+	h := NewHistogram(nil)
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(g*per + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Errorf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	var bucketTotal uint64
+	for _, c := range s.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != s.Count {
+		t.Errorf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+func TestExponentialBounds(t *testing.T) {
+	t.Parallel()
+	b := ExponentialBounds(10, 10000, 7)
+	if len(b) != 7 || b[0] != 10 || b[len(b)-1] != 10000 {
+		t.Fatalf("bounds = %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing: %v", b)
+		}
+	}
+}
+
+// parsePrometheus splits an exposition document into samples,
+// skipping comments.  It fails the test on any malformed line — the
+// format check half of the satellite test task.
+func parsePrometheus(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line in exposition output")
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		if _, dup := samples[name]; dup {
+			t.Fatalf("duplicate series %q", name)
+		}
+		samples[name] = f
+	}
+	return samples
+}
+
+func TestRegistryPrometheusExposition(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "requests", Labels{"endpoint": "study"})
+	c.Add(3)
+	r.Counter("test_requests_total", "requests", Labels{"endpoint": "sweep"}).Add(1)
+	g := r.Gauge("test_in_flight", "in flight", nil)
+	g.Set(2)
+	r.GaugeFunc("test_uptime_seconds", "uptime", nil, func() float64 { return 1.5 })
+	r.CounterFunc("test_evictions_total", "evictions", nil, func() float64 { return 9 })
+	h := r.Histogram("test_latency_seconds", "latency", Labels{"endpoint": "study"},
+		[]int64{int64(time.Millisecond), int64(10 * time.Millisecond)}, 1e-9)
+	h.ObserveDuration(500 * time.Microsecond)
+	h.ObserveDuration(5 * time.Millisecond)
+	h.ObserveDuration(time.Second)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	samples := parsePrometheus(t, text)
+
+	if samples[`test_requests_total{endpoint="study"}`] != 3 {
+		t.Errorf("study counter sample missing or wrong in:\n%s", text)
+	}
+	if samples[`test_in_flight`] != 2 || samples[`test_uptime_seconds`] != 1.5 || samples[`test_evictions_total`] != 9 {
+		t.Errorf("gauge/func samples wrong in:\n%s", text)
+	}
+
+	// Histogram: buckets must be cumulative (monotonically
+	// nondecreasing in le order), +Inf must equal _count, and _sum
+	// must match the observations.
+	buckets := []string{
+		`test_latency_seconds_bucket{endpoint="study",le="0.001"}`,
+		`test_latency_seconds_bucket{endpoint="study",le="0.01"}`,
+		`test_latency_seconds_bucket{endpoint="study",le="+Inf"}`,
+	}
+	prev := -1.0
+	for _, name := range buckets {
+		v, ok := samples[name]
+		if !ok {
+			t.Fatalf("missing bucket %q in:\n%s", name, text)
+		}
+		if v < prev {
+			t.Errorf("bucket %q = %g below previous %g: not cumulative", name, v, prev)
+		}
+		prev = v
+	}
+	if inf := samples[buckets[2]]; inf != 3 {
+		t.Errorf("+Inf bucket = %g, want 3", inf)
+	}
+	if cnt := samples[`test_latency_seconds_count{endpoint="study"}`]; cnt != 3 {
+		t.Errorf("_count = %g, want 3", cnt)
+	}
+	wantSum := (500*time.Microsecond + 5*time.Millisecond + time.Second).Seconds()
+	if sum := samples[`test_latency_seconds_sum{endpoint="study"}`]; math.Abs(sum-wantSum) > 1e-9 {
+		t.Errorf("_sum = %g, want %g", sum, wantSum)
+	}
+
+	// One HELP and one TYPE line per family, before its samples.
+	for _, fam := range []string{"test_requests_total", "test_latency_seconds"} {
+		if strings.Count(text, "# HELP "+fam+" ") != 1 || strings.Count(text, "# TYPE "+fam+" ") != 1 {
+			t.Errorf("family %s lacks exactly one HELP and TYPE line:\n%s", fam, text)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	t.Parallel()
+	got := renderLabels(Labels{"path": `a"b\c` + "\n"})
+	want := `{path="a\"b\\c\n"}`
+	if got != want {
+		t.Errorf("renderLabels = %q, want %q", got, want)
+	}
+}
+
+func TestTracerRecordAndEvict(t *testing.T) {
+	t.Parallel()
+	tr := NewTracer(traceShards) // one trace per shard
+	tr.Record("a", Span{Name: "study", Outcome: "ok"})
+	tr.Record("a", Span{Name: "study", Outcome: "error", Units: []int{1, 2}})
+	spans, dropped, ok := tr.Trace("a")
+	if !ok || len(spans) != 2 || dropped != 0 {
+		t.Fatalf("trace a = %v dropped=%d ok=%v", spans, dropped, ok)
+	}
+	if spans[1].Units[1] != 2 || spans[0].Outcome != "ok" {
+		t.Errorf("span contents wrong: %+v", spans)
+	}
+	if _, _, ok := tr.Trace("missing"); ok {
+		t.Error("unknown id reported ok")
+	}
+
+	// FIFO eviction within a shard: find two ids hashing to one
+	// shard; recording the second must evict the first.
+	base := tr.shard("a")
+	other := ""
+	for i := 0; ; i++ {
+		id := fmt.Sprintf("evict-%d", i)
+		if tr.shard(id) == base && id != "a" {
+			other = id
+			break
+		}
+	}
+	tr.Record(other, Span{Name: "x"})
+	if _, _, ok := tr.Trace("a"); ok {
+		t.Error("oldest trace survived past the shard bound")
+	}
+	if _, _, ok := tr.Trace(other); !ok {
+		t.Error("newest trace missing after eviction")
+	}
+}
+
+func TestTracerSpanBound(t *testing.T) {
+	t.Parallel()
+	tr := NewTracer(0)
+	for i := 0; i < maxSpansPerTrace+5; i++ {
+		tr.Record("big", Span{Name: "unit"})
+	}
+	spans, dropped, ok := tr.Trace("big")
+	if !ok || len(spans) != maxSpansPerTrace || dropped != 5 {
+		t.Errorf("spans=%d dropped=%d ok=%v", len(spans), dropped, ok)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	t.Parallel()
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("t%d", i%32)
+				tr.Record(id, Span{Name: "n"})
+				tr.Trace(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() == 0 {
+		t.Error("no traces retained")
+	}
+}
+
+func TestRequestIDContextRoundTrip(t *testing.T) {
+	t.Parallel()
+	id := NewRequestID()
+	if len(id) == 0 || len(id) > 16 {
+		t.Errorf("request id %q has unexpected length", id)
+	}
+	ctx := WithRequestID(context.Background(), id)
+	if got := RequestID(ctx); got != id {
+		t.Errorf("RequestID = %q, want %q", got, id)
+	}
+	if got := RequestID(context.Background()); got != "" {
+		t.Errorf("RequestID on bare context = %q, want empty", got)
+	}
+}
+
+// TestStdlibOnlyImports pins the package's dependency-freedom: obs
+// must import nothing outside the Go standard library, so every
+// layer of the repo can depend on it without cycles.  CI enforces the
+// same invariant with go list; this test catches it at go test time.
+func TestStdlibOnlyImports(t *testing.T) {
+	t.Parallel()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, parser.ImportsOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var imports []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				imports = append(imports, strings.Trim(imp.Path.Value, `"`))
+			}
+		}
+	}
+	sort.Strings(imports)
+	for _, path := range imports {
+		first, _, _ := strings.Cut(path, "/")
+		if strings.Contains(first, ".") || strings.HasPrefix(path, "repro/") {
+			t.Errorf("internal/obs imports non-stdlib package %q", path)
+		}
+	}
+}

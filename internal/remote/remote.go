@@ -18,6 +18,17 @@
 // /v1/run/sweep endpoints (internal/service), which execute one unit
 // per request behind the daemon's admission semaphore and cache unit
 // results in the campaign store.
+//
+// # Telemetry and tracing
+//
+// The client keeps a per-backend latency histogram (every attempt,
+// success or failure, is observed) plus counters for reroutes,
+// hedges, quarantines and batched requests, all snapshotted by
+// Stats.  When the driving context carries a request ID
+// (obs.WithRequestID), every unit and batch POST forwards it in the
+// X-Request-Id header, so each backend's span log attributes the
+// campaign's units to one trace — GET /v1/trace/{id} on the backends
+// reconstructs where a sharded campaign's time went.
 package remote
 
 import (
@@ -30,6 +41,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Paths of the fx8d unit-execution endpoints, shared with
@@ -100,13 +113,18 @@ type backend struct {
 	failures atomic.Int64
 	units    atomic.Uint64 // completed units
 	dead     atomic.Bool
-	noBatch  atomic.Bool // batch endpoint absent (version skew)
+	noBatch  atomic.Bool    // batch endpoint absent (version skew)
+	lat      *obs.Histogram // per-attempt request latency
 }
 
-func (b *backend) fail(maxFailures int) {
+// fail books one failed attempt, reporting whether this failure is
+// the one that quarantined the backend (so the client can count
+// quarantine transitions exactly once).
+func (b *backend) fail(maxFailures int) (quarantined bool) {
 	if b.failures.Add(1) >= int64(maxFailures) {
-		b.dead.Store(true)
+		return !b.dead.Swap(true)
 	}
+	return false
 }
 
 func (b *backend) ok() {
@@ -119,15 +137,17 @@ func (b *backend) ok() {
 // computes a unit in-process when no backend can.  All methods are
 // safe for concurrent use; drive it with engine.RunAll.
 type Client[U, R any] struct {
-	cfg       Config
-	backends  []*backend
-	fallback  func(U) (R, error)
-	httpc     *http.Client
-	rr        atomic.Uint64 // round-robin tiebreak for pick
-	fallbackN atomic.Uint64
-	hedgeN    atomic.Uint64
-	batchN    atomic.Uint64
-	hedgeWake atomic.Uint64 // hedge-timer wakeups (tests pin these down)
+	cfg         Config
+	backends    []*backend
+	fallback    func(U) (R, error)
+	httpc       *http.Client
+	rr          atomic.Uint64 // round-robin tiebreak for pick
+	fallbackN   atomic.Uint64
+	hedgeN      atomic.Uint64
+	batchN      atomic.Uint64
+	rerouteN    atomic.Uint64 // attempts relaunched after a failure
+	quarantineN atomic.Uint64 // backends transitioned to dead
+	hedgeWake   atomic.Uint64 // hedge-timer wakeups (tests pin these down)
 }
 
 // NewClient builds a sharding client; fallback is the local compute
@@ -155,7 +175,7 @@ func NewClient[U, R any](cfg Config, fallback func(U) (R, error)) *Client[U, R] 
 			url = "http://" + url
 		}
 		base := strings.TrimRight(url, "/")
-		b := &backend{addr: addr, url: base + cfg.Path}
+		b := &backend{addr: addr, url: base + cfg.Path, lat: obs.NewHistogram(nil)}
 		if cfg.BatchPath != "" {
 			b.batchURL = base + cfg.BatchPath
 		}
@@ -254,12 +274,16 @@ func (c *Client[U, R]) RunUnit(ctx context.Context, unit U) (R, error) {
 			}
 			if unitCtx.Err() == nil {
 				// A real failure, not an attempt we canceled.
-				a.b.fail(c.cfg.MaxFailures)
+				if a.b.fail(c.cfg.MaxFailures) {
+					c.quarantineN.Add(1)
+				}
 			}
 			if ctx.Err() != nil {
 				return zero, ctx.Err()
 			}
-			if !launch() { // reroute to the next backend, if any
+			if launch() { // reroute to the next backend, if any
+				c.rerouteN.Add(1)
+			} else {
 				// Nothing left to launch, ever: hedging is over.
 				disarm()
 			}
@@ -313,10 +337,16 @@ func (c *Client[U, R]) RunBatch(ctx context.Context, units []U) ([]R, error) {
 		return nil, fmt.Errorf("remote: encoding unit batch: %w", err)
 	}
 	tried := make(map[*backend]bool, len(c.backends))
+	failed := 0 // attempts that failed on a live backend (not version skew)
 	for {
 		b := c.pickBatch(tried)
 		if b == nil {
 			break
+		}
+		if failed > 0 {
+			// This launch is a retry of a batch a previous backend
+			// failed, not the first attempt.
+			c.rerouteN.Add(1)
 		}
 		tried[b] = true
 		b.inflight.Add(int64(len(units)))
@@ -332,16 +362,25 @@ func (c *Client[U, R]) RunBatch(ctx context.Context, units []U) ([]R, error) {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
-			b.fail(c.cfg.MaxFailures)
+			if b.fail(c.cfg.MaxFailures) {
+				c.quarantineN.Add(1)
+			}
+			failed++
 			continue
 		}
 		var out []R
 		if err := json.Unmarshal(body, &out); err != nil {
-			b.fail(c.cfg.MaxFailures)
+			if b.fail(c.cfg.MaxFailures) {
+				c.quarantineN.Add(1)
+			}
+			failed++
 			continue
 		}
 		if len(out) != len(units) {
-			b.fail(c.cfg.MaxFailures)
+			if b.fail(c.cfg.MaxFailures) {
+				c.quarantineN.Add(1)
+			}
+			failed++
 			continue
 		}
 		b.failures.Store(0)
@@ -438,7 +477,12 @@ func (c *Client[U, R]) postRaw(ctx context.Context, b *backend, url string, payl
 		return nil, 0, fmt.Errorf("remote: %s: %w", b.addr, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if id := obs.RequestID(ctx); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
+	}
+	start := time.Now()
 	resp, err := c.httpc.Do(req)
+	b.lat.Observe(int64(time.Since(start)))
 	if err != nil {
 		return nil, 0, fmt.Errorf("remote: %s: %w", b.addr, err)
 	}
@@ -463,27 +507,48 @@ type BackendStats struct {
 	Units    uint64 // units this backend completed
 	Failures int64  // consecutive failures (reset on success)
 	Dead     bool
+	InFlight int64 // units in flight right now
+
+	// Per-attempt request latency quantiles, estimated from the
+	// backend's histogram; zero until the backend has served an
+	// attempt.
+	P50, P95, P99 time.Duration
 }
 
 // Stats snapshots how the client's units were executed — which
-// backends did the work, how many units fell back to local compute,
-// how many hedges fired, and how many batched requests succeeded.
+// backends did the work and how fast, how many units fell back to
+// local compute, how many hedges fired, how many attempts were
+// rerouted after a failure, how many backends were quarantined, and
+// how many batched requests succeeded.
 type Stats struct {
-	Backends  []BackendStats
-	Fallbacks uint64
-	Hedges    uint64
-	Batches   uint64
+	Backends    []BackendStats
+	Fallbacks   uint64
+	Hedges      uint64
+	Batches     uint64
+	Reroutes    uint64
+	Quarantines uint64
 }
 
 // Stats returns a snapshot of the client's scheduling outcomes.
 func (c *Client[U, R]) Stats() Stats {
-	s := Stats{Fallbacks: c.fallbackN.Load(), Hedges: c.hedgeN.Load(), Batches: c.batchN.Load()}
+	s := Stats{
+		Fallbacks:   c.fallbackN.Load(),
+		Hedges:      c.hedgeN.Load(),
+		Batches:     c.batchN.Load(),
+		Reroutes:    c.rerouteN.Load(),
+		Quarantines: c.quarantineN.Load(),
+	}
 	for _, b := range c.backends {
+		p50, p95, p99 := b.lat.Snapshot().Quantiles()
 		s.Backends = append(s.Backends, BackendStats{
 			Addr:     b.addr,
 			Units:    b.units.Load(),
 			Failures: b.failures.Load(),
 			Dead:     b.dead.Load(),
+			InFlight: b.inflight.Load(),
+			P50:      time.Duration(p50),
+			P95:      time.Duration(p95),
+			P99:      time.Duration(p99),
 		})
 	}
 	return s

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // echoUnit / echoResult are a trivial unit type for exercising the
@@ -530,5 +531,95 @@ func TestClientConcurrencySizing(t *testing.T) {
 	local := NewClient(Config{}, echoLocal)
 	if got := local.Concurrency(0); got != 0 {
 		t.Errorf("Concurrency(0) with no backends = %d, want 0 (engine default)", got)
+	}
+}
+
+func TestClientForwardsRequestID(t *testing.T) {
+	t.Parallel()
+	var unitIDs, batchIDs atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/unit", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(obs.RequestIDHeader) == "trace-forward" {
+			unitIDs.Add(1)
+		}
+		var u echoUnit
+		json.NewDecoder(r.Body).Decode(&u)
+		res, _ := echoLocal(u)
+		json.NewEncoder(w).Encode(res)
+	})
+	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(obs.RequestIDHeader) == "trace-forward" {
+			batchIDs.Add(1)
+		}
+		var us []echoUnit
+		json.NewDecoder(r.Body).Decode(&us)
+		out := make([]echoResult, len(us))
+		for i, u := range us {
+			out[i], _ = echoLocal(u)
+		}
+		json.NewEncoder(w).Encode(out)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	ctx := obs.WithRequestID(context.Background(), "trace-forward")
+	c := NewClient(Config{Backends: []string{srv.URL}, Path: "/unit", BatchPath: "/batch", BatchUnits: 4}, echoLocal)
+	if _, err := c.RunUnit(ctx, echoUnit{X: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunBatch(ctx, units(4)); err != nil {
+		t.Fatal(err)
+	}
+	if unitIDs.Load() != 1 || batchIDs.Load() != 1 {
+		t.Errorf("request ID forwarded on %d unit and %d batch POSTs, want 1 and 1",
+			unitIDs.Load(), batchIDs.Load())
+	}
+
+	// Without an ID in the context, no header is sent.
+	bare := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, present := r.Header[obs.RequestIDHeader]; present {
+			t.Error("X-Request-Id sent with no ID in the context")
+		}
+		var u echoUnit
+		json.NewDecoder(r.Body).Decode(&u)
+		res, _ := echoLocal(u)
+		json.NewEncoder(w).Encode(res)
+	}))
+	t.Cleanup(bare.Close)
+	c2 := NewClient(Config{Backends: []string{bare.URL}}, echoLocal)
+	if _, err := c2.RunUnit(context.Background(), echoUnit{X: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsReportsLatencyReroutesAndQuarantines(t *testing.T) {
+	t.Parallel()
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "backend on fire", http.StatusInternalServerError)
+	}))
+	t.Cleanup(bad.Close)
+	good := echoBackend(t, nil)
+
+	c := NewClient(Config{
+		Backends:    []string{bad.URL, good.URL},
+		MaxFailures: 2,
+	}, echoLocal)
+	if _, err := engine.RunAll(context.Background(), 4, units(16), c, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Reroutes == 0 {
+		t.Errorf("Reroutes = 0 after units failed over, want > 0")
+	}
+	if st.Quarantines != 1 {
+		t.Errorf("Quarantines = %d, want exactly 1 (the bad backend, counted once)", st.Quarantines)
+	}
+	for _, b := range st.Backends {
+		if b.InFlight != 0 {
+			t.Errorf("backend %s InFlight = %d after the run, want 0", b.Addr, b.InFlight)
+		}
+		if b.P50 <= 0 || b.P99 < b.P50 {
+			t.Errorf("backend %s quantiles p50=%v p99=%v, want 0 < p50 <= p99", b.Addr, b.P50, b.P99)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
@@ -30,4 +31,22 @@ func BenchmarkServiceStudy(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(warm.Body.Len()))
+}
+
+// BenchmarkMetricsRecord measures the per-request metrics cost under
+// parallelism — the path every handler pays on every request.  Its
+// "before" shape (one global mutex around a map of per-endpoint
+// structs) is preserved as obs's BenchmarkMutexMapRecord; this is the
+// sharded-histogram "after".
+func BenchmarkMetricsRecord(b *testing.B) {
+	m := newMetrics()
+	m.register("study")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := time.Microsecond
+		for pb.Next() {
+			d += 37 * time.Nanosecond
+			m.record("study", d, false)
+		}
+	})
 }

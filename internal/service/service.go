@@ -16,6 +16,7 @@
 //	GET  /v1/sweep?param=P    sweep sched|cache|ce
 //	GET  /v1/progress?scale=S SSE stream of campaign progress
 //	GET  /v1/metrics          per-endpoint latency + cache hit rates
+//	GET  /v1/trace/{id}       spans recorded under one request ID
 //	POST /v1/purge            drop both cache tiers
 //	POST /v1/run/session      execute one campaign session unit
 //	POST /v1/run/sessions     execute a batch of session units
@@ -50,12 +51,31 @@
 // Retry-After header instead of queuing unboundedly — under
 // overload the daemon degrades to fast rejections, never to an
 // unbounded latency tail.
+//
+// # Observability
+//
+// Every request is measured into lock-free obs counters and sharded
+// latency histograms; /v1/metrics renders them as the historical
+// JSON document or, when the request asks (?format=prometheus or a
+// text/plain Accept header), as Prometheus text exposition covering
+// the endpoints plus the engine's worker pool, the campaign cache,
+// and the store.  Every request also carries an X-Request-Id —
+// assigned here if the client sent none, echoed on the response —
+// and a request arriving with a caller-supplied ID records one span
+// under it; GET /v1/trace/{id} returns the spans, which for a
+// sharded campaign (whose remote client forwards the ID on every
+// unit POST) reconstructs which units ran on this daemon and how
+// long each took.  Tracing is opt-in by supplying the ID, so
+// uncorrelated traffic never evicts a campaign's trace.
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -64,8 +84,19 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/remote"
 	"repro/internal/store"
+)
+
+// Version and Commit identify the running build in /v1/healthz.
+// cmd/fx8d stamps them at link time:
+//
+//	go build -ldflags "-X repro/internal/service.Version=v1.2.3 \
+//	                   -X repro/internal/service.Commit=abc1234"
+var (
+	Version = "dev"
+	Commit  = "unknown"
 )
 
 // Config sizes a Server.
@@ -100,6 +131,16 @@ type Config struct {
 	// request may carry; requests past the bound get 400.  0 means
 	// DefaultMaxBatchUnits.
 	MaxBatchUnits int
+
+	// MaxTraces bounds how many request IDs the trace store retains
+	// for GET /v1/trace/{id}; the oldest trace is evicted past the
+	// bound.  0 means obs.DefaultMaxTraces.
+	MaxTraces int
+
+	// Logger, when set, receives one structured access-log record per
+	// request (endpoint, method, path, outcome, duration, request
+	// ID).  nil disables access logging.
+	Logger *slog.Logger
 }
 
 // Default request-cost bounds for Config's zero fields.
@@ -116,6 +157,7 @@ type Server struct {
 	sem      chan struct{}
 	waiting  atomic.Int64 // expensive requests queued for admission
 	metrics  *metrics
+	tracer   *obs.Tracer
 	progress *progressBoard
 	start    time.Time
 }
@@ -143,10 +185,12 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		metrics:  newMetrics(),
+		tracer:   obs.NewTracer(cfg.MaxTraces),
 		progress: newProgressBoard(),
 		start:    time.Now(),
 	}
 	s.cache.OnProgress = s.progress.observe
+	s.registerProcess()
 
 	s.handle("GET /v1/healthz", "healthz", false, s.handleHealthz)
 	s.handle("GET /v1/study", "study", true, s.handleStudy)
@@ -154,10 +198,12 @@ func New(cfg Config) *Server {
 	s.handle("GET /v1/figures/{name}", "figures", true, s.handleFigure)
 	s.handle("GET /v1/sweep", "sweep", true, s.handleSweep)
 	s.handle("GET /v1/metrics", "metrics", false, s.handleMetrics)
+	s.handle("GET /v1/trace/{id}", "trace", false, s.handleTrace)
 	s.handle("POST /v1/purge", "purge", false, s.handlePurge)
 	s.handle("POST "+remote.SessionPath, "run_session", true, s.handleRunSession)
 	s.handle("POST "+remote.SessionBatchPath, "run_sessions", true, s.handleRunSessionBatch)
 	s.handle("POST "+remote.SweepPath, "run_sweep", true, s.handleRunSweep)
+	s.metrics.register("progress")
 	s.mux.HandleFunc("GET /v1/progress", s.handleProgress) // streams; self-instrumented
 	return s
 }
@@ -183,16 +229,70 @@ func notFound(format string, args ...any) error {
 	return httpError{http.StatusNotFound, fmt.Sprintf(format, args...)}
 }
 
-// handle registers a handler with metrics and, for expensive
+// spanUnits carries the work-unit IDs a handler executed out to the
+// request's trace span.  The wrapper plants one per traced request;
+// the unit handlers append to it from the request goroutine only.
+type spanUnits struct{ ids []int }
+
+type spanUnitsKey struct{}
+
+func withSpanUnits(ctx context.Context, su *spanUnits) context.Context {
+	return context.WithValue(ctx, spanUnitsKey{}, su)
+}
+
+func spanUnitsFrom(ctx context.Context) *spanUnits {
+	su, _ := ctx.Value(spanUnitsKey{}).(*spanUnits)
+	return su
+}
+
+// handle registers a handler with metrics, tracing and, for expensive
 // endpoints, doubly bounded admission: MaxInFlight requests run,
 // at most MaxQueue more wait, and anything past both is shed with
 // 429 + Retry-After — overload degrades to fast rejections, never
 // to an unbounded queue.
+//
+// Every request gets a request ID — the inbound X-Request-Id if the
+// client sent one (the remote client forwards its campaign's ID on
+// every unit POST), a fresh one otherwise — echoed on the response.
+// Spans are recorded only under caller-supplied IDs: tracing is the
+// caller's opt-in, so uncorrelated traffic (dashboards, load tests)
+// costs nothing on the hot path and cannot evict a campaign's trace
+// from the bounded store.  GET /v1/trace/{id} reconstructs where a
+// sharded campaign's time went.
 func (s *Server) handle(pattern, endpoint string, expensive bool, h func(w http.ResponseWriter, r *http.Request) error) {
+	s.metrics.register(endpoint)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := r.Header.Get(obs.RequestIDHeader)
+		traced := id != ""
+		if !traced {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set(obs.RequestIDHeader, id)
+		outcome := "ok"
+		if traced {
+			su := &spanUnits{}
+			r = r.WithContext(withSpanUnits(obs.WithRequestID(r.Context(), id), su))
+			defer func() {
+				s.tracer.Record(id, obs.Span{
+					Name: endpoint, Start: start, Duration: time.Since(start),
+					Outcome: outcome, Units: su.ids,
+				})
+			}()
+		}
+		if s.cfg.Logger != nil {
+			defer func() {
+				s.cfg.Logger.Info("request",
+					"id", id, "endpoint", endpoint,
+					"method", r.Method, "path", r.URL.Path,
+					"outcome", outcome,
+					"duration_ms", float64(time.Since(start))/float64(time.Millisecond))
+			}()
+		}
 		if expensive {
-			if !s.admit(w, r, endpoint) {
+			ok, why := s.admit(w, r, endpoint)
+			if !ok {
+				outcome = why
 				return
 			}
 			defer func() { <-s.sem }()
@@ -202,12 +302,14 @@ func (s *Server) handle(pattern, endpoint string, expensive bool, h func(w http.
 				// read, and don't book the disconnect as a server
 				// error.
 				s.metrics.recordCanceled(endpoint, time.Since(start))
+				outcome = "canceled"
 				return
 			}
 		}
 		err := h(w, r)
 		s.metrics.record(endpoint, time.Since(start), err != nil)
 		if err != nil {
+			outcome = "error"
 			status := http.StatusInternalServerError
 			if he, ok := err.(httpError); ok {
 				status = he.status
@@ -221,13 +323,14 @@ func (s *Server) handle(pattern, endpoint string, expensive bool, h func(w http.
 // admission slot's typical turnaround at quick scale.
 const retryAfterSeconds = "1"
 
-// admit acquires an admission slot, reporting false (with the
-// response already written or abandoned) when the request was shed
-// or the client gave up while queued.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) bool {
+// admit acquires an admission slot, reporting ok == false (with the
+// response already written or abandoned, and why — "shed" or
+// "canceled" — for the trace span) when the request was shed or the
+// client gave up while queued.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) (ok bool, why string) {
 	select {
 	case s.sem <- struct{}{}:
-		return true // free slot: no queuing, no shed check
+		return true, "" // free slot: no queuing, no shed check
 	default:
 	}
 	if n := s.waiting.Add(1); int(n) > s.cfg.MaxQueue {
@@ -236,16 +339,16 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) 
 		w.Header().Set("Retry-After", retryAfterSeconds)
 		writeJSON(w, http.StatusTooManyRequests,
 			map[string]string{"error": "admission queue full; retry later"})
-		return false
+		return false, "shed"
 	}
 	defer s.waiting.Add(-1)
 	select {
 	case s.sem <- struct{}{}:
-		return true
+		return true, ""
 	case <-r.Context().Done():
 		// Client gave up while queued; nothing to write.
 		s.metrics.recordCanceled(endpoint, 0)
-		return false
+		return false, "canceled"
 	}
 }
 
@@ -333,22 +436,36 @@ func scaleParam(r *http.Request) (string, core.StudyConfig, error) {
 	return scale, cfg, nil
 }
 
-// HealthzResponse is the /v1/healthz body.
+// HealthzResponse is the /v1/healthz body: liveness plus the build
+// identity (stamped via -ldflags -X, see Version) and a few Go
+// runtime vitals.
 type HealthzResponse struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	InFlight      int     `json:"in_flight"`
 	MaxInFlight   int     `json:"max_in_flight"`
 	Store         bool    `json:"store_attached"`
+	Version       string  `json:"version"`
+	Commit        string  `json:"commit"`
+	GoVersion     string  `json:"go_version"`
+	Goroutines    int     `json:"goroutines"`
+	HeapAlloc     uint64  `json:"heap_alloc_bytes"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	return writeJSON(w, http.StatusOK, HealthzResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		InFlight:      len(s.sem),
 		MaxInFlight:   s.cfg.MaxInFlight,
 		Store:         s.cache.Store() != nil,
+		Version:       Version,
+		Commit:        Commit,
+		GoVersion:     runtime.Version(),
+		Goroutines:    runtime.NumGoroutine(),
+		HeapAlloc:     ms.HeapAlloc,
 	})
 }
 
@@ -517,8 +634,53 @@ func (s *Server) handlePurge(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, http.StatusOK, PurgeResponse{Purged: true})
 }
 
+// wantsPrometheus reports whether a /v1/metrics request asked for
+// text exposition instead of the historical JSON document: an
+// explicit ?format=prometheus, or an Accept header naming text/plain
+// or the OpenMetrics type (what Prometheus scrapers send).  Plain
+// curl and the loadgen scraper keep getting JSON.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.FormValue("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		return s.metrics.reg.WritePrometheus(w)
+	}
 	return writeJSON(w, http.StatusOK, s.metricsSnapshot())
+}
+
+// TraceResponse is the GET /v1/trace/{id} body: every span this
+// daemon recorded under one request ID, in recording order.  For a
+// sharded campaign, querying each backend for the campaign's ID
+// reconstructs which units ran where and how long each took.
+type TraceResponse struct {
+	ID      string     `json:"id"`
+	Spans   []obs.Span `json:"spans"`
+	Dropped int        `json:"dropped,omitempty"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	spans, dropped, ok := s.tracer.Trace(id)
+	if !ok {
+		retained := s.cfg.MaxTraces
+		if retained <= 0 {
+			retained = obs.DefaultMaxTraces
+		}
+		return notFound("unknown trace %q (traces are retained for the last %d request IDs)",
+			id, retained)
+	}
+	return writeJSON(w, http.StatusOK, TraceResponse{ID: id, Spans: spans, Dropped: dropped})
 }
 
 // Unit-execution endpoints: the serving side of internal/remote.
@@ -557,6 +719,9 @@ func (s *Server) handleRunSession(w http.ResponseWriter, r *http.Request) error 
 	if unit.Random == nil && unit.Triggered == nil {
 		return badRequest("session unit %d has no spec", unit.ID)
 	}
+	if su := spanUnitsFrom(r.Context()); su != nil {
+		su.ids = append(su.ids, unit.ID)
+	}
 	res, err := store.GetOrComputeJSON(s.cache.Store(), sessionUnitNamespace, unit, func() (core.StudyUnitResult, error) {
 		return core.RunStudyUnit(unit)
 	})
@@ -590,6 +755,11 @@ func (s *Server) handleRunSessionBatch(w http.ResponseWriter, r *http.Request) e
 	for _, u := range units {
 		if u.Random == nil && u.Triggered == nil {
 			return badRequest("session unit %d has no spec", u.ID)
+		}
+	}
+	if su := spanUnitsFrom(r.Context()); su != nil {
+		for _, u := range units {
+			su.ids = append(su.ids, u.ID)
 		}
 	}
 	runner := engine.Local[core.StudyUnit, core.StudyUnitResult]{

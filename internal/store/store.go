@@ -304,6 +304,14 @@ func (s *Store) Size() int64 {
 	return total
 }
 
+// Disk reports the entry count and total bytes on disk in one
+// directory scan — the metrics-scrape variant of Len+Size, which
+// would otherwise scan twice per scrape.
+func (s *Store) Disk() (entries int, bytes int64) {
+	list, total, _ := s.scan()
+	return len(list), total
+}
+
 // Purge removes every entry from the store.  Files that are not store
 // entries are left alone.
 func (s *Store) Purge() error {
