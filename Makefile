@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race bench bench-load profile ci
+.PHONY: all build fmt vet lint test race bench bench-load profile ci
 
 all: build
 
@@ -16,6 +16,18 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs fxlint, the repo's own analyzer suite (see internal/lint):
+# determinism, layering, resetcomplete and truncation.  The second
+# pass analyzes the GOARCH=386 file set: fxlint itself is built
+# natively and reads GOARCH at run time (the loader passes it to
+# go list and go/types), so 386-only files and sizes are covered
+# without executing a 386 binary.
+lint:
+	@mkdir -p .bin
+	$(GO) build -o .bin/fxlint ./cmd/fxlint
+	.bin/fxlint ./...
+	GOARCH=386 .bin/fxlint ./...
 
 test:
 	$(GO) test ./...
@@ -87,4 +99,4 @@ profile:
 	@echo "  go tool pprof -top profiles/session.test profiles/session.cpu.pprof"
 	@echo "  go tool pprof -top -sample_index=alloc_objects profiles/session.test profiles/session.mem.pprof"
 
-ci: fmt vet build test race
+ci: fmt vet lint build test race

@@ -1,0 +1,105 @@
+// Command fxlint runs the repo's custom analyzer suite (internal/lint)
+// over the module: determinism, layering, resetcomplete and
+// truncation — the invariants the compiler cannot check and CI used
+// to approximate with greps and per-struct tests.
+//
+// Usage:
+//
+//	fxlint [-only names] [-skip names] [-list] [-dir DIR] [packages]
+//
+// Packages default to ./... relative to -dir (default ".").  Exit
+// status is 1 when any diagnostic is reported, 2 on usage or load
+// errors, 0 on a clean tree.  Set GOARCH=386 to analyze the 32-bit
+// file set; the truncation analyzer assumes 32-bit int either way.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fxlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzers to run (default: all)")
+	skip := fs.String("skip", "", "comma-separated analyzers to skip")
+	list := fs.Bool("list", false, "list analyzers and the layering rules, then exit")
+	dir := fs.String("dir", ".", "module directory to load packages from")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		var err error
+		if analyzers, err = lint.ByName(*only); err != nil {
+			fmt.Fprintln(stderr, "fxlint:", err)
+			return 2
+		}
+	}
+	if *skip != "" {
+		skipped, err := lint.ByName(*skip)
+		if err != nil {
+			fmt.Fprintln(stderr, "fxlint:", err)
+			return 2
+		}
+		var kept []*lint.Analyzer
+		for _, a := range analyzers {
+			drop := false
+			for _, s := range skipped {
+				if s == a {
+					drop = true
+					break
+				}
+			}
+			if !drop {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stdout, "\nlayering rules:\n%s", lint.DescribeRules())
+		return 0
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintln(stderr, "fxlint: no analyzers selected")
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "fxlint:", err)
+		return 2
+	}
+	diags := lint.Run(prog, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		names := make([]string, len(analyzers))
+		for i, a := range analyzers {
+			names[i] = a.Name
+		}
+		fmt.Fprintf(stderr, "fxlint: %d diagnostic(s) from %s\n", len(diags), strings.Join(names, ","))
+		return 1
+	}
+	return 0
+}

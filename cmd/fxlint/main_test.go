@@ -1,0 +1,82 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fixtureDir(t *testing.T, name string) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestRunFlagsFixture: a tree with violations exits 1 and prints the
+// diagnostics on stdout with the summary on stderr.
+func TestRunFlagsFixture(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-dir", fixtureDir(t, "truncation"), "-only", "truncation", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "[truncation]") {
+		t.Errorf("stdout missing [truncation] diagnostics:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "diagnostic(s) from truncation") {
+		t.Errorf("stderr missing summary:\n%s", errb.String())
+	}
+}
+
+// TestRunOnlySkipsOtherAnalyzers: -only restricts the run, so the
+// resetcomplete fixture is clean under the truncation analyzer alone.
+func TestRunOnlySkipsOtherAnalyzers(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-dir", fixtureDir(t, "resetcomplete"), "-only", "truncation", "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+// TestRunRepoLayeringClean is the CI invocation that replaced the
+// "obs stays stdlib-only" grep: layering over the real tree is clean.
+func TestRunRepoLayeringClean(t *testing.T) {
+	var out, errb strings.Builder
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run([]string{"-dir", root, "-only", "layering", "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-only", "nosuch"}, &out, &errb); code != 2 {
+		t.Errorf("unknown analyzer: exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message:\n%s", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-skip", "determinism,layering,resetcomplete,truncation"}, &out, &errb); code != 2 {
+		t.Errorf("all skipped: exit code = %d, want 2", code)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "layering", "resetcomplete", "truncation", "layering rules:"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}

@@ -84,7 +84,7 @@ type loadReport struct {
 	// Absent (ServerScraped false) when the target's metrics endpoint
 	// was unreachable; a scrape failure never fails the run.
 	ServerScraped bool    `json:"server_scraped,omitempty"`
-	ServerShed    int     `json:"server_shed,omitempty"`
+	ServerShed    uint64  `json:"server_shed,omitempty"`
 	ServerHitRate float64 `json:"server_hit_rate,omitempty"`
 }
 
@@ -339,7 +339,12 @@ func runLoad(cfg loadConfig) (*loadReport, error) {
 	rep.P50, rep.P95, rep.P99, rep.Max = percentiles(l.lats)
 	if scrapedBefore && scrapedAfter {
 		rep.ServerScraped = true
-		rep.ServerShed = int(after.shed - before.shed)
+		// Keep the counter delta in uint64 end to end; a daemon
+		// restart mid-window makes it wrap, which the guard treats
+		// as "no usable delta" rather than a garbage count.
+		if after.shed >= before.shed {
+			rep.ServerShed = after.shed - before.shed
+		}
 		hits := after.hits - before.hits
 		if total := hits + (after.misses - before.misses); total > 0 {
 			rep.ServerHitRate = float64(hits) / float64(total)

@@ -196,7 +196,7 @@ func TestOverloadObserves429WithRetryAfter(t *testing.T) {
 	}
 	// The daemon's own shed accounting corroborates the client's 429
 	// count: every shed the client saw was booked server-side.
-	if rep.ServerScraped && rep.ServerShed < rep.Shed {
+	if rep.ServerScraped && rep.ServerShed < uint64(rep.Shed) {
 		t.Errorf("server booked %d sheds, client saw %d", rep.ServerShed, rep.Shed)
 	}
 }

@@ -78,9 +78,9 @@ func (k *Kernel) PageFaults() uint64 {
 // nonresident page stalls the CE for the fault service time while the
 // kernel counter advances.
 type VM struct {
-	pageShift   uint
+	pageShift   uint // page size is a property of the mounted cluster; fxlint:keep
 	faultCycles int
-	kernel      *Kernel
+	kernel      *Kernel // wiring to the owning system's counters; fxlint:keep
 	current     *Process
 
 	// lastPage/lastOK memoize the most recently touched resident
@@ -89,7 +89,7 @@ type VM struct {
 	// (vector streams, hot code) skips the residency map entirely.
 	// Residency can only change on a fault or a process switch, and
 	// both clear the memo.
-	lastPage uint32
+	lastPage uint32 // meaningless while !lastOK, which Reset clears; fxlint:keep
 	lastOK   bool
 }
 

@@ -39,7 +39,9 @@ func DefaultSysConfig() SysConfig {
 // of cluster jobs, future arrivals, the VM hook and kernel counters.
 // Step advances the machine one cycle under OS control.
 type System struct {
-	Cluster *fx8.Cluster
+	// The cluster is owned by the caller, which resets it (with the
+	// session seed) before resetting the system over it.
+	Cluster *fx8.Cluster // fxlint:keep
 	Kernel  *Kernel
 	VM      *VM
 

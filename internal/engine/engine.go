@@ -207,10 +207,15 @@ func mapPool[S, T any](workers, n int, newState func() S, fn func(s S, i int) T,
 			defer wg.Done()
 			s := newState()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || panicked.Load() != nil {
+				// Bound-check in int64 before narrowing: on
+				// GOARCH=386 the old int(next.Add(1)) wrapped
+				// negative past 2^31 and indexed out of range
+				// instead of terminating.
+				v := next.Add(1) - 1
+				if v >= int64(n) || panicked.Load() != nil {
 					return
 				}
+				i := int(v) //fxlint:allow truncation — v < n, an int
 				completed := func() (completed bool) {
 					defer func() {
 						if r := recover(); r != nil {
@@ -225,7 +230,9 @@ func mapPool[S, T any](workers, n int, newState func() S, fn func(s S, i int) T,
 				// reach n once a unit has failed — the documented
 				// "no final progress(n, n) after a panic" contract.
 				if completed && progress != nil {
-					progress(int(done.Add(1)), n)
+					// done counts completed units, so it never
+					// exceeds n, an int.
+					progress(int(done.Add(1)), n) //fxlint:allow truncation — done <= n
 				}
 			}
 		}()
@@ -481,7 +488,9 @@ func runAllBatches[U, R any](ctx context.Context, workers, size int, units []U, 
 		}
 		copy(out[lo:hi], res)
 		if progress != nil {
-			progress(int(done.Add(int64(hi-lo))), n)
+			// done sums batch sizes over disjoint [lo,hi) windows of
+			// the n units, so it never exceeds n, an int.
+			progress(int(done.Add(int64(hi-lo))), n) //fxlint:allow truncation — done <= n
 		}
 		return struct{}{}
 	})

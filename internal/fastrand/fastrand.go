@@ -46,7 +46,8 @@ func (p *PCG) IntN(n int) int {
 			hi, lo = bits.Mul64(p.src.Uint64(), u)
 		}
 	}
-	return int(hi)
+	// hi = floor(x*n / 2^64) < n, an int; narrowing cannot truncate.
+	return int(hi) //fxlint:allow truncation — hi < n
 }
 
 // Float64 matches (*rand.Rand).Float64.

@@ -6,16 +6,19 @@ package fx8
 // interleaved across modules by line address, matching the machine's
 // four-way interleave across two physical modules.
 type SharedCache struct {
-	lineShift uint
-	modMask   uint32
-	modShift  uint
-	setMask   uint32
-	tagShift  uint // modShift + set index bits: line >> tagShift = tag
-	ways      int
+	// The cache geometry is a pure function of the configuration,
+	// which cannot change without rebuilding the line array: Reset
+	// keeps all of it (fxlint:keep below).
+	lineShift uint   // fxlint:keep
+	modMask   uint32 // fxlint:keep
+	modShift  uint   // fxlint:keep
+	setMask   uint32 // fxlint:keep
+	tagShift  uint   // modShift + set index bits: line >> tagShift = tag; fxlint:keep
+	ways      int    // fxlint:keep
 
 	// sets[module][set*ways+way]
 	lines []cacheLine
-	sets  int // per module
+	sets  int // per module; fxlint:keep
 
 	// lruStamp provides cheap LRU ordering: it increases on every
 	// access and lines carry the stamp of their last use.

@@ -320,7 +320,10 @@ func (ce *CE) performLookup(cl *Cluster) {
 		ce.MissCycles++
 		bus := cl.mem.BusFor(res.Module)
 		end := cl.mem.Enqueue(bus, trace.MemRead, cl.cfg.FillCycles, cl.cycle)
-		ce.stall = int(end-cl.cycle) + cl.cfg.MissExtraCycles
+		// end-cl.cycle is this fill's queue wait plus service time,
+		// bounded by the handful of transactions ahead of it on the
+		// bus — it fits int on every GOARCH.
+		ce.stall = int(end-cl.cycle) + cl.cfg.MissExtraCycles //fxlint:allow truncation
 	}
 
 	switch ce.lookupKind {

@@ -18,20 +18,22 @@ import (
 type Cluster struct {
 	cfg       Config
 	cycle     uint64
-	lineShift uint
+	lineShift uint // derived from cfg.LineBytes; fxlint:keep
 
 	// Invariant configuration values hoisted out of the per-cycle
 	// paths: cfg is consulted once at construction, not per step.
-	laneBytes  uint32 // cfg.VectorLaneBytes
-	lookupsCap int    // cfg.LookupsPerModule
-	arbBias    []int  // cfg.ArbBias
+	// Reset keeps the configuration (only the seed changes), so the
+	// derived values survive it too.
+	laneBytes  uint32 // cfg.VectorLaneBytes; fxlint:keep
+	lookupsCap int    // cfg.LookupsPerModule; fxlint:keep
+	arbBias    []int  // cfg.ArbBias; fxlint:keep
 
 	ces   []CE
 	cache *SharedCache
 	mem   *MemSystem
 	ccb   *CCB
 	ips   []IP
-	mmu   MMU
+	mmu   MMU // the OS re-installs its hook; kept across Reset (fxlint:keep)
 
 	serialStream Stream
 	clusterSize  int
@@ -42,9 +44,11 @@ type Cluster struct {
 	// cycles with no requests.
 	wantLookups int
 
-	// Arbitration scratch (reused each cycle).
+	// Arbitration scratch (reused each cycle).  capacity is fully
+	// rewritten at the top of every arbitrate pass, so Reset leaves
+	// it alone.
 	reqBuf   []*CE
-	capacity []int
+	capacity []int // fxlint:keep
 }
 
 // New builds a cluster from cfg.  It panics on an invalid

@@ -85,7 +85,7 @@ type Loop struct {
 // SliceStream adapts a fixed instruction slice to the Stream
 // interface.
 type SliceStream struct {
-	Instrs []Instr
+	Instrs []Instr // the stream's data: Reset rewinds, never clears; fxlint:keep
 	pos    int
 }
 

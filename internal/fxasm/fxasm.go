@@ -197,8 +197,24 @@ func parseInstr(op string, args []string, line int) (bodyInstr, error) {
 		}
 		return nil
 	}
-	num := func(s string) (int64, error) {
-		return strconv.ParseInt(s, 0, 64)
+	// num parses a signed 32-bit operand; numAddr an address or
+	// stride.  Both bound the value at parse time (bitSize 32), so an
+	// out-of-range immediate is a named assembly error instead of a
+	// silent wrap through the int32/uint32 instruction fields — the
+	// truncation bug class fxlint forbids.
+	num := func(s string) (int32, error) {
+		v, err := strconv.ParseInt(s, 0, 32)
+		if err != nil {
+			return 0, err
+		}
+		return int32(v), nil //fxlint:allow truncation — ParseInt bitSize 32 bounds v
+	}
+	numAddr := func(s string) (uint32, error) {
+		v, err := strconv.ParseUint(s, 0, 32)
+		if err != nil {
+			return 0, err
+		}
+		return uint32(v), nil //fxlint:allow truncation — ParseUint bitSize 32 bounds v
 	}
 	switch op {
 	case "compute", "vcompute":
@@ -213,12 +229,12 @@ func parseInstr(op string, args []string, line int) (bodyInstr, error) {
 		if op == "vcompute" {
 			bi.in.Op = fx8.OpVCompute
 		}
-		bi.in.N = int32(n)
+		bi.in.N = n
 	case "load", "store":
 		if len(args) < 1 || len(args) > 2 {
 			return bi, fmt.Errorf("line %d: %s needs addr [, @*stride]", line, op)
 		}
-		a, err := num(args[0])
+		a, err := numAddr(args[0])
 		if err != nil {
 			return bi, fmt.Errorf("line %d: %v", line, err)
 		}
@@ -226,24 +242,24 @@ func parseInstr(op string, args []string, line int) (bodyInstr, error) {
 		if op == "store" {
 			bi.in.Op = fx8.OpStore
 		}
-		bi.in.Addr = uint32(a)
+		bi.in.Addr = a
 		if len(args) == 2 {
 			stride, ok := strings.CutPrefix(args[1], "@*")
 			if !ok {
 				return bi, fmt.Errorf("line %d: second operand must be @*stride", line)
 			}
-			sv, err := num(stride)
+			sv, err := numAddr(stride)
 			if err != nil {
 				return bi, fmt.Errorf("line %d: %v", line, err)
 			}
 			bi.addrIter = true
-			bi.stride = uint32(sv)
+			bi.stride = sv
 		}
 	case "vload", "vstore":
 		if len(args) < 2 || len(args) > 3 {
 			return bi, fmt.Errorf("line %d: %s needs addr, n [, @*stride]", line, op)
 		}
-		a, err := num(args[0])
+		a, err := numAddr(args[0])
 		if err != nil {
 			return bi, fmt.Errorf("line %d: %v", line, err)
 		}
@@ -255,19 +271,19 @@ func parseInstr(op string, args []string, line int) (bodyInstr, error) {
 		if op == "vstore" {
 			bi.in.Op = fx8.OpVStore
 		}
-		bi.in.Addr = uint32(a)
-		bi.in.N = int32(n)
+		bi.in.Addr = a
+		bi.in.N = n
 		if len(args) == 3 {
 			stride, ok := strings.CutPrefix(args[2], "@*")
 			if !ok {
 				return bi, fmt.Errorf("line %d: third operand must be @*stride", line)
 			}
-			sv, err := num(stride)
+			sv, err := numAddr(stride)
 			if err != nil {
 				return bi, fmt.Errorf("line %d: %v", line, err)
 			}
 			bi.addrIter = true
-			bi.stride = uint32(sv)
+			bi.stride = sv
 		}
 	case "await", "advance":
 		if err := need(1); err != nil {
@@ -287,14 +303,14 @@ func parseInstr(op string, args []string, line int) (bodyInstr, error) {
 				if err != nil {
 					return bi, fmt.Errorf("line %d: %v", line, err)
 				}
-				bi.iterOff = int32(off)
+				bi.iterOff = off
 			}
 		} else {
 			n, err := num(arg)
 			if err != nil {
 				return bi, fmt.Errorf("line %d: %v", line, err)
 			}
-			bi.in.N = int32(n)
+			bi.in.N = n
 		}
 	default:
 		return bi, fmt.Errorf("line %d: unknown mnemonic %q", line, op)

@@ -147,6 +147,40 @@ func TestAssembleErrors(t *testing.T) {
 	}
 }
 
+// TestAssembleRejectsOutOfRangeImmediates pins the parse-time width
+// bound: immediates that do not fit the int32/uint32 instruction
+// fields are named assembly errors, not silent wraps.  The assembler
+// previously parsed into int64 and narrowed at the assignment, so
+// e.g. `compute 4294967297` assembled as `compute 1`.
+func TestAssembleRejectsOutOfRangeImmediates(t *testing.T) {
+	cases := map[string]string{
+		"compute count past int32":  "compute 3000000000",
+		"compute count wraps to 1":  "compute 4294967297",
+		"vcompute count past int32": "vcompute 2147483648",
+		"load addr past uint32":     "load 0x100000000",
+		"negative load addr":        "load -1",
+		"store addr past uint32":    "store 4294967296",
+		"scalar stride past uint32": "body a\nload 0x0, @*4294967296\nend",
+		"vload addr past uint32":    "vload 0x100000000, 4",
+		"vload count past int32":    "vload 0x0, 3000000000",
+		"vector stride past uint32": "body a\nvload 0x0, 4, @*4294967296\nend",
+		"await count past int32":    "await 3000000000",
+		"await offset past int32":   "body a\nawait @+3000000000\nend",
+		"advance count past int32":  "advance 2147483648",
+	}
+	for name, src := range cases {
+		if _, err := AssembleString(src); err == nil {
+			t.Errorf("%s: expected out-of-range error for %q", name, src)
+		}
+	}
+	// The boundary values still assemble.
+	for _, src := range []string{"compute 2147483647", "load 4294967295", "await -2147483648"} {
+		if _, err := AssembleString(src); err != nil {
+			t.Errorf("boundary %q: unexpected error %v", src, err)
+		}
+	}
+}
+
 func TestAssembleCommentsAndBlanks(t *testing.T) {
 	p, err := AssembleString("# only a comment\n\n  \ncompute 3 # trailing\n")
 	if err != nil {

@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// determinismScope lists the simulator and experiment packages whose
+// output must be a pure function of their inputs: sessions are pinned
+// byte-identical across workers, arenas and backends, so wall-clock
+// reads, the shared global RNG and map-order-dependent output are all
+// bugs there even when they "work" locally.
+var determinismScope = map[string]bool{
+	"repro/internal/fx8":         true,
+	"repro/internal/concentrix":  true,
+	"repro/internal/monitor":     true,
+	"repro/internal/core":        true,
+	"repro/internal/workload":    true,
+	"repro/internal/fxasm":       true,
+	"repro/internal/experiments": true,
+}
+
+// DeterminismAnalyzer forbids the nondeterminism sources the
+// simulator's byte-identity pins cannot tolerate.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid time.Now/time.Since, the global math/rand source, and " +
+		"map iteration whose order leaks into output in simulator/experiment packages",
+	Scope: func(path string) bool { return determinismScope[path] },
+	Run:   runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterministicCall(pass, n)
+			case *ast.BlockStmt:
+				checkStmtList(pass, n.List)
+			case *ast.CaseClause:
+				checkStmtList(pass, n.Body)
+			case *ast.CommClause:
+				checkStmtList(pass, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkDeterministicCall flags wall-clock reads and uses of the
+// process-global math/rand source.
+func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	// Only package-level functions matter here: methods on rand.Rand
+	// or time.Time values are deterministic given their inputs.
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock; simulated time must come from the cycle counter", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors (New, NewPCG, NewSource, ...) build explicitly
+		// seeded local generators and are fine; everything else draws
+		// from the process-global source.
+		if !strings.HasPrefix(fn.Name(), "New") {
+			pass.Reportf(call.Pos(),
+				"%s.%s uses the global math/rand source; use a seeded local generator (rand.New or internal/fastrand)",
+				fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// calleeFunc resolves a call's target to a *types.Func when it is a
+// direct function or method reference.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// checkStmtList examines each range-over-map statement with its
+// trailing statements in view, so the "collect keys, then sort"
+// idiom can be recognised.
+func checkStmtList(pass *Pass, stmts []ast.Stmt) {
+	for i, stmt := range stmts {
+		rs, ok := stmt.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		t := pass.Pkg.Info.TypeOf(rs.X)
+		if t == nil {
+			continue
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		checkMapRange(pass, rs, stmts[i+1:])
+	}
+}
+
+// sinkNames are method/function names that emit bytes in call order:
+// writing them inside a map range bakes the iteration order into
+// rendered tables, figures, hashes or wire output.
+var sinkNames = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "Encode": true,
+	"Sum": true, "Sum32": true, "Sum64": true,
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	// appended maps the outer slice variables this loop appends map
+	// values into, to the position of the first such append.
+	appended := make(map[types.Object]ast.Node)
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := callName(n); ok && sinkNames[name] {
+				pass.Reportf(n.Pos(),
+					"%s inside map iteration makes output depend on map order; iterate over sorted keys", name)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltin(pass, call, "append") || i >= len(n.Lhs) {
+					continue
+				}
+				obj := rootObject(pass, n.Lhs[i])
+				if obj == nil {
+					continue
+				}
+				// Appends to loop-local slices order a value that
+				// never escapes one iteration.
+				if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+					continue
+				}
+				if _, seen := appended[obj]; !seen {
+					appended[obj] = n
+				}
+			}
+		}
+		return true
+	})
+
+	for obj, site := range appended {
+		if sortedAfter(pass, obj, rest) {
+			continue
+		}
+		pass.Reportf(site.Pos(),
+			"%s accumulates map-iteration values in map order; sort it before use or iterate over sorted keys", obj.Name())
+	}
+}
+
+// sortedAfter reports whether any statement after the range loop
+// sorts obj (a call into package sort or slices mentioning it).
+func sortedAfter(pass *Pass, obj types.Object, rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				mentions := false
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == obj {
+						mentions = true
+					}
+					return !mentions
+				})
+				if mentions {
+					found = true
+					break
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// callName extracts the bare name a call invokes (method or function).
+func callName(call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	}
+	return "", false
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// rootObject resolves the outermost variable an lvalue expression
+// writes through: x, x.f, x[i], *x all root at x.
+func rootObject(pass *Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return pass.Pkg.Info.Uses[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}

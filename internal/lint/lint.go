@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one whole-program invariant check.  Run is invoked once
+// per module package within Scope; analyzers needing the import graph
+// reach it through Pass.Prog.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Scope restricts which packages Run sees; nil means every
+	// module package the load matched.
+	Scope func(importPath string) bool
+
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless the source line (or the
+// full-line comment directly above it) carries a matching
+// "//fxlint:allow <analyzer>" suppression.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Prog.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) suppressed(pos token.Position) bool {
+	if p.Pkg.allow == nil {
+		p.Pkg.allow = buildAllowIndex(p.Prog.Fset, p.Pkg.Files)
+	}
+	for _, name := range p.Pkg.allow[pos.Filename][pos.Line] {
+		if name == p.Analyzer.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// buildAllowIndex maps filename -> line -> analyzer names allowed on
+// that line.  A suppression covers its own line (trailing comment)
+// and the line below it (standalone comment above the flagged code).
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	idx := make(map[string]map[int][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					idx[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+			}
+		}
+	}
+	return idx
+}
+
+// parseAllow extracts the analyzer names from an
+// "//fxlint:allow name[,name] [rationale]" comment.
+func parseAllow(text string) ([]string, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "fxlint:allow") {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "fxlint:allow"))
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	return strings.Split(fields[0], ","), true
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		LayeringAnalyzer,
+		ResetCompleteAnalyzer,
+		TruncationAnalyzer,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("determinism,layering").
+func ByName(names string) ([]*Analyzer, error) {
+	all := Analyzers()
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range all {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			known := make([]string, len(all))
+			for i, a := range all {
+				known[i] = a.Name
+			}
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, strings.Join(known, ", "))
+		}
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to every root package of prog (honouring
+// per-analyzer scopes) and returns the surviving diagnostics sorted
+// by position.
+func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range prog.Roots {
+			if a.Scope != nil && !a.Scope(pkg.ImportPath) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

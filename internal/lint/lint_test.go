@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one testdata module.  Each fixture is its
+// own module (testdata is invisible to the repo's ./...) so the
+// production Load path — go list, source type-checking, suppression
+// index — is exercised exactly as fxlint uses it.
+func loadFixture(t *testing.T, name string) *Program {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	prog, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	return prog
+}
+
+// unscoped clones an analyzer with its package scope removed, so
+// fixtures in toy modules (whose import paths are not repro/...) still
+// reach Run.  The layering fixture keeps the real scope: its go.mod
+// declares module repro, so the production rules apply verbatim.
+func unscoped(a *Analyzer) *Analyzer {
+	clone := *a
+	clone.Scope = nil
+	return &clone
+}
+
+// wantMarkers scans fixture sources for trailing `// want "substring"`
+// comments and returns them keyed by "file:line".
+func wantMarkers(t *testing.T, name string) map[string][]string {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	wants := make(map[string][]string)
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			const marker = `// want "`
+			at := strings.Index(line, marker)
+			if at < 0 {
+				continue
+			}
+			rest := line[at+len(marker):]
+			end := strings.LastIndex(rest, `"`)
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want marker", path, i+1)
+			}
+			key := fmt.Sprintf("%s:%d", abs, i+1)
+			wants[key] = append(wants[key], rest[:end])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking %s: %v", dir, err)
+	}
+	return wants
+}
+
+// checkFixture runs one analyzer over one fixture and requires the
+// diagnostics to match the want markers exactly: every marker matched
+// by a diagnostic on its line, every diagnostic explained by a marker.
+func checkFixture(t *testing.T, fixture string, a *Analyzer) {
+	t.Helper()
+	prog := loadFixture(t, fixture)
+	diags := Run(prog, []*Analyzer{a})
+	wants := wantMarkers(t, fixture)
+
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want markers; flagging fixtures must assert something", fixture)
+	}
+
+	matched := make(map[string]bool)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		ok := false
+		for _, want := range wants[key] {
+			if strings.Contains(d.Message, want) {
+				ok = true
+				matched[key+"\x00"+want] = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	var missing []string
+	for key, subs := range wants {
+		for _, want := range subs {
+			if !matched[key+"\x00"+want] {
+				missing = append(missing, fmt.Sprintf("%s: want %q", key, want))
+			}
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Errorf("missing diagnostic: %s", m)
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	checkFixture(t, "determinism", unscoped(DeterminismAnalyzer))
+}
+
+func TestResetCompleteFixture(t *testing.T) {
+	checkFixture(t, "resetcomplete", ResetCompleteAnalyzer)
+}
+
+func TestTruncationFixture(t *testing.T) {
+	checkFixture(t, "truncation", TruncationAnalyzer)
+}
+
+func TestLayeringFixture(t *testing.T) {
+	// Production scope and production LayerRules: the fixture module
+	// is named repro so the real whitelist applies as-is.
+	checkFixture(t, "layering", LayeringAnalyzer)
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("layering,truncation")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if len(as) != 2 || as[0] != LayeringAnalyzer || as[1] != TruncationAnalyzer {
+		t.Fatalf("ByName returned %v", as)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch): expected error")
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+		ok   bool
+	}{
+		{"//fxlint:allow truncation — bounded by n", []string{"truncation"}, true},
+		{"// fxlint:allow determinism,truncation why", []string{"determinism", "truncation"}, true},
+		{"//fxlint:allow", nil, false},
+		{"// just a comment", nil, false},
+	}
+	for _, c := range cases {
+		got, ok := parseAllow(c.text)
+		if ok != c.ok {
+			t.Errorf("parseAllow(%q) ok=%v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if fmt.Sprint(got) != fmt.Sprint(c.want) && c.ok {
+			t.Errorf("parseAllow(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}

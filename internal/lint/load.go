@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.  Module packages carry
+// their parsed files and full type information; standard-library
+// dependencies are type-checked only so module expressions resolve,
+// and their syntax is dropped.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	Imports    []string
+
+	// Files holds the parsed non-test Go files.  Populated for
+	// module packages only.
+	Files []*ast.File
+
+	// Types and Info are the go/types results.  Info is populated
+	// for module packages only.
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrs collects type-checker errors.  Analyzing a package
+	// that failed to type-check produces unreliable results, so the
+	// driver refuses module packages with errors.
+	TypeErrs []error
+
+	// allow caches the //fxlint:allow suppression comments, keyed by
+	// filename then line.  Built lazily by Pass.Reportf.
+	allow map[string]map[int][]string
+}
+
+// Program is a loaded module: every package named by the load
+// patterns plus the full dependency closure, type-checked from source
+// in dependency order.
+type Program struct {
+	Fset *token.FileSet
+
+	// Pkgs indexes every listed package (module and standard) by
+	// import path.
+	Pkgs map[string]*Package
+
+	// Roots are the packages matched by the load patterns, in load
+	// order.  These are the packages analyzers run over.
+	Roots []*Package
+
+	// GOARCH is the architecture the load resolved files and sizes
+	// for (the GOARCH environment variable, or the host).
+	GOARCH string
+
+	deps map[string]map[string]bool // memoized transitive import closures
+}
+
+// listPackage mirrors the fields of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ GoVersion string }
+	Error      *struct{ Err string }
+}
+
+// Load enumerates patterns with `go list -json -deps` in dir and
+// type-checks every package from source with go/ast + go/types — no
+// tooling outside the standard library.  CGO is disabled so the pure
+// Go file set is selected; GOARCH is honoured (set GOARCH=386 to
+// analyze the 32-bit build).
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	goarch := os.Getenv("GOARCH")
+	if goarch == "" {
+		goarch = runtime.GOARCH
+	}
+
+	args := append([]string{"list", "-e", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var listed []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -json: %v", err)
+		}
+		listed = append(listed, &p)
+	}
+
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		Pkgs:   make(map[string]*Package, len(listed)),
+		GOARCH: goarch,
+		deps:   make(map[string]map[string]bool),
+	}
+	byPath := make(map[string]*listPackage, len(listed))
+	for _, lp := range listed {
+		byPath[lp.ImportPath] = lp
+	}
+	sizes := types.SizesFor("gc", goarch)
+
+	var check func(path string) (*types.Package, error)
+	check = func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		lp, ok := byPath[path]
+		if !ok {
+			// GOROOT-vendored dependencies are listed under their
+			// vendor/ prefix while source files import the bare path.
+			if v, vok := byPath["vendor/"+path]; vok {
+				lp = v
+			} else {
+				return nil, fmt.Errorf("package %s not listed", path)
+			}
+		}
+		if pkg, done := prog.Pkgs[lp.ImportPath]; done {
+			return pkg.Types, nil
+		}
+		if lp.Error != nil && !lp.Standard {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+
+		pkg := &Package{
+			ImportPath: lp.ImportPath,
+			Name:       lp.Name,
+			Dir:        lp.Dir,
+			Standard:   lp.Standard,
+			Imports:    lp.Imports,
+		}
+		mode := parser.SkipObjectResolution
+		if !lp.Standard {
+			mode |= parser.ParseComments
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(prog.Fset, filepath.Join(lp.Dir, name), nil, mode)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+			}
+			files = append(files, f)
+		}
+		conf := types.Config{
+			Importer: importerFunc(check),
+			Sizes:    sizes,
+			Error:    func(err error) { pkg.TypeErrs = append(pkg.TypeErrs, err) },
+		}
+		if lp.Module != nil && lp.Module.GoVersion != "" {
+			conf.GoVersion = "go" + lp.Module.GoVersion
+		}
+		if !lp.Standard {
+			pkg.Info = &types.Info{
+				Types:      make(map[ast.Expr]types.TypeAndValue),
+				Defs:       make(map[*ast.Ident]types.Object),
+				Uses:       make(map[*ast.Ident]types.Object),
+				Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			}
+			pkg.Files = files
+		}
+		// Register before the recursive check so import cycles
+		// cannot loop; go list has already rejected true cycles.
+		prog.Pkgs[lp.ImportPath] = pkg
+		tp, _ := conf.Check(lp.ImportPath, prog.Fset, files, pkg.Info)
+		pkg.Types = tp
+		if lp.Standard {
+			// The syntax of dependencies is dead weight once their
+			// types exist.
+			pkg.TypeErrs = nil
+		}
+		return tp, nil
+	}
+
+	for _, lp := range listed {
+		if _, err := check(lp.ImportPath); err != nil {
+			if lp.Standard || lp.DepOnly {
+				continue // tolerated: only module roots must be analyzable
+			}
+			return nil, err
+		}
+		if !lp.DepOnly {
+			prog.Roots = append(prog.Roots, prog.Pkgs[lp.ImportPath])
+		}
+	}
+
+	var broken []string
+	for _, pkg := range prog.Roots {
+		if len(pkg.TypeErrs) > 0 {
+			broken = append(broken, fmt.Sprintf("%s: %v", pkg.ImportPath, pkg.TypeErrs[0]))
+		}
+	}
+	if len(broken) > 0 {
+		sort.Strings(broken)
+		return nil, fmt.Errorf("packages failed to type-check (fix the build before linting):\n  %s",
+			strings.Join(broken, "\n  "))
+	}
+	return prog, nil
+}
+
+// Deps returns the transitive import closure of the named package
+// (not including the package itself), memoized across calls.
+func (prog *Program) Deps(path string) map[string]bool {
+	if d, ok := prog.deps[path]; ok {
+		return d
+	}
+	closure := make(map[string]bool)
+	prog.deps[path] = closure // placeholder guards against cycles
+	if pkg, ok := prog.Pkgs[path]; ok {
+		for _, imp := range pkg.Imports {
+			if closure[imp] {
+				continue
+			}
+			closure[imp] = true
+			for dep := range prog.Deps(imp) {
+				closure[dep] = true
+			}
+		}
+	}
+	return closure
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

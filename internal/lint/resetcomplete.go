@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// ResetCompleteAnalyzer checks that every Reset method assigns,
+// clears or delegates a reset for every field of its receiver struct
+// — the static generalization of the per-struct reflect guards the
+// session-arena work introduced.  A field deliberately preserved
+// across resets (configuration, derived constants, backing arrays a
+// guard field invalidates) opts out with a "// fxlint:keep" comment
+// on its declaration.
+var ResetCompleteAnalyzer = &Analyzer{
+	Name: "resetcomplete",
+	Doc:  "a Reset method must cover every receiver field (assign, clear, delegate) or mark it // fxlint:keep",
+	Run:  runResetComplete,
+}
+
+func runResetComplete(pass *Pass) {
+	// Index the package's struct declarations and method sets once.
+	structs := make(map[string]*ast.StructType)
+	methods := make(map[string]map[string]*ast.FuncDecl) // type -> method name -> decl
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						structs[ts.Name.Name] = st
+					}
+				}
+			case *ast.FuncDecl:
+				tname, _ := receiverType(d)
+				if tname == "" {
+					continue
+				}
+				if methods[tname] == nil {
+					methods[tname] = make(map[string]*ast.FuncDecl)
+				}
+				methods[tname][d.Name.Name] = d
+			}
+		}
+	}
+
+	for tname, ms := range methods {
+		reset, ok := ms["Reset"]
+		if !ok || reset.Body == nil {
+			continue
+		}
+		st, ok := structs[tname]
+		if !ok {
+			continue // non-struct receiver: nothing to enumerate
+		}
+		_, recvName := receiverType(reset)
+		if recvName == "" || recvName == "_" {
+			continue
+		}
+
+		covered, all := methodCoverage(reset, recvName, ms, map[*ast.FuncDecl]bool{reset: true})
+		if all {
+			continue
+		}
+		var missing []string
+		for _, field := range st.Fields.List {
+			if keepField(field) {
+				continue
+			}
+			for _, name := range fieldNames(field) {
+				if !covered[name] {
+					missing = append(missing, name)
+				}
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		sort.Strings(missing)
+		pass.Reportf(reset.Pos(),
+			"(%s).Reset does not reset fields: %s (assign or clear them, delegate a reset, or mark the field // fxlint:keep)",
+			tname, strings.Join(missing, ", "))
+	}
+}
+
+// receiverType returns the receiver's type name and parameter name
+// for a method declaration ("" for plain functions).  Pointer and
+// generic receivers unwrap to the base type name.
+func receiverType(fd *ast.FuncDecl) (typeName, recvName string) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return "", ""
+	}
+	recv := fd.Recv.List[0]
+	t := recv.Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	switch tt := t.(type) {
+	case *ast.Ident:
+		typeName = tt.Name
+	case *ast.IndexExpr:
+		if id, ok := tt.X.(*ast.Ident); ok {
+			typeName = id.Name
+		}
+	case *ast.IndexListExpr:
+		if id, ok := tt.X.(*ast.Ident); ok {
+			typeName = id.Name
+		}
+	}
+	if len(recv.Names) == 1 {
+		recvName = recv.Names[0].Name
+	}
+	return typeName, recvName
+}
+
+// fieldNames lists the names a struct field declares (the embedded
+// type's base name for anonymous fields).
+func fieldNames(field *ast.Field) []string {
+	if len(field.Names) > 0 {
+		names := make([]string, len(field.Names))
+		for i, n := range field.Names {
+			names[i] = n.Name
+		}
+		return names
+	}
+	t := field.Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	switch tt := t.(type) {
+	case *ast.Ident:
+		return []string{tt.Name}
+	case *ast.SelectorExpr:
+		return []string{tt.Sel.Name}
+	}
+	return nil
+}
+
+// keepField reports whether the field opts out via fxlint:keep in its
+// doc or trailing comment.
+func keepField(field *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "fxlint:keep") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// methodCoverage walks a method body and returns the receiver fields
+// it covers.  A field counts as covered when it (or a projection of
+// it) is assigned, incremented, cleared or copied over, passed by
+// address, or is the receiver of a method call (delegated reset).
+// Calls to sibling methods on the bare receiver recurse, so e.g. a
+// Reset that calls Flush inherits Flush's assignments.  all=true
+// means the whole receiver was overwritten (*r = T{...}).
+func methodCoverage(fd *ast.FuncDecl, recvName string, siblings map[string]*ast.FuncDecl, seen map[*ast.FuncDecl]bool) (covered map[string]bool, all bool) {
+	covered = make(map[string]bool)
+	cover := func(expr ast.Expr) {
+		if name, whole := receiverField(expr, recvName); whole {
+			all = true
+		} else if name != "" {
+			covered[name] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				cover(lhs)
+			}
+		case *ast.IncDecStmt:
+			cover(n.X)
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && id.Name == recvName {
+					// r.Sibling(...): inherit its coverage.
+					if sib, ok := siblings[sel.Sel.Name]; ok && !seen[sib] && sib.Body != nil {
+						if sibRecv, sibName := receiverType(sib); sibRecv != "" && sibName != "" {
+							seen[sib] = true
+							c, a := methodCoverage(sib, sibName, siblings, seen)
+							for f := range c {
+								covered[f] = true
+							}
+							all = all || a
+						}
+					}
+				} else {
+					// r.field.Method(...) delegates field state.
+					cover(sel.X)
+				}
+			}
+			// clear(r.f), copy(r.f, x), and &r.f passed anywhere all
+			// hand the field to resetting code.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && (id.Name == "clear" || id.Name == "copy") && len(n.Args) > 0 {
+				cover(n.Args[0])
+			}
+			for _, arg := range n.Args {
+				if ue, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && ue.Op.String() == "&" {
+					cover(ue.X)
+				}
+			}
+		}
+		return true
+	})
+	return covered, all
+}
+
+// receiverField resolves which field of the named receiver an
+// expression touches.  whole=true means the expression is the
+// receiver itself (or *receiver): writing through it covers every
+// field.
+func receiverField(expr ast.Expr, recvName string) (field string, whole bool) {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			if e.Name == recvName {
+				return "", true
+			}
+			return "", false
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && id.Name == recvName {
+				return e.Sel.Name, false
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		default:
+			return "", false
+		}
+	}
+}

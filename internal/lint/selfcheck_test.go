@@ -1,0 +1,19 @@
+package lint
+
+import "testing"
+
+// TestRepoTreeClean is the invariant the whole suite exists for: the
+// real module, loaded exactly as `make lint` loads it, produces zero
+// diagnostics from all four analyzers.  A failure here means either a
+// genuine violation slipped in or an analyzer regressed into a false
+// positive — both are merge blockers.
+func TestRepoTreeClean(t *testing.T) {
+	prog, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("Load repo root: %v", err)
+	}
+	diags := Run(prog, Analyzers())
+	for _, d := range diags {
+		t.Errorf("repo tree not fxlint-clean: %s", d)
+	}
+}

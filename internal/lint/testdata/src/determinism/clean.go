@@ -1,0 +1,61 @@
+package determinism
+
+import (
+	"fmt"
+	randv2 "math/rand/v2"
+	"sort"
+	"strings"
+)
+
+// seeded uses an explicitly seeded local generator: allowed.
+func seeded(seed uint64) int {
+	rng := randv2.New(randv2.NewPCG(seed, 1))
+	return rng.IntN(8)
+}
+
+// renderSorted is the collect-keys-sort-iterate idiom: the append
+// target is sorted after the loop, and the emitting loop ranges over
+// the slice, not the map.
+func renderSorted(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}
+
+// sum is order-insensitive accumulation: no append, no sink.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// localAppend appends to a slice declared inside the loop body; the
+// order never escapes one iteration.
+func localAppend(m map[string][]int, f func([]int)) {
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		f(doubled)
+	}
+}
+
+// allowed demonstrates the suppression comment: the consumer sorts.
+func allowed(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		//fxlint:allow determinism — sole caller sorts before use
+		out = append(out, k)
+	}
+	return out
+}

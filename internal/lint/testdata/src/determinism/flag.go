@@ -1,0 +1,44 @@
+// Package determinism is an fxlint test fixture: every construct the
+// determinism analyzer must flag, with // want markers naming the
+// expected diagnostic substring.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	randv2 "math/rand/v2"
+	"strings"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+func globalRandV1() int {
+	return rand.Intn(8) // want "rand.Intn uses the global math/rand source"
+}
+
+func globalRandV2() int {
+	return randv2.IntN(8) // want "rand.IntN uses the global math/rand source"
+}
+
+func render(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d\n", k, v) // want "Fprintf inside map iteration makes output depend on map order"
+	}
+	return b.String()
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "keys accumulates map-iteration values in map order"
+	}
+	return keys
+}

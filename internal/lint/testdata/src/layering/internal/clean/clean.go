@@ -1,0 +1,11 @@
+// Package clean is an unconstrained package: it may import anything,
+// including store, without a diagnostic.
+package clean
+
+import (
+	"repro/internal/deep"
+	"repro/internal/store"
+)
+
+// Both uses both imports.
+const Both = store.Kind + "-clean" + string(rune('0'+deep.Marker))

@@ -1,0 +1,6 @@
+// Package deep is an unconstrained helper package in the layering
+// fixture; importing it is only a violation for stdlib-only layers.
+package deep
+
+// Marker exists so importers have something to reference.
+const Marker = 1

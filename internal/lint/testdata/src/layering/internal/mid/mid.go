@@ -1,0 +1,9 @@
+// Package mid is an unconstrained intermediary: it may import store,
+// but anything in the simulator stack importing mid inherits the
+// forbidden transitive edge.
+package mid
+
+import "repro/internal/store"
+
+// Via re-exports store.Kind so the import is used.
+const Via = store.Kind

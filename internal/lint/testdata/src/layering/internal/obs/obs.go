@@ -1,0 +1,14 @@
+// Package obs mirrors the real telemetry substrate, which must stay
+// stdlib-only: any repro import is a violation.
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/deep" // want "repro/internal/obs must not depend on repro/internal/deep"
+)
+
+// Describe uses both imports.
+func Describe() string {
+	return fmt.Sprint(deep.Marker)
+}

@@ -1,0 +1,6 @@
+// Package store stands in for the real persistence layer the
+// simulator stack must never depend on.
+package store
+
+// Kind identifies the fixture package in diagnostics.
+const Kind = "store"

@@ -1,0 +1,62 @@
+package resetcomplete
+
+type inner struct{ n int }
+
+func (i *inner) Reset() { i.n = 0 }
+
+// Full exercises every coverage form: direct assignment, reslice,
+// clear, delegated Reset on value and pointer fields, and a
+// fxlint:keep opt-out for configuration that survives resets.
+type Full struct {
+	cfg   int // fxlint:keep — configuration survives reset
+	count int
+	buf   []byte
+	set   map[int]bool
+	sub   inner
+	ptr   *inner
+}
+
+func (f *Full) Reset() {
+	f.count = 0
+	f.buf = f.buf[:0]
+	clear(f.set)
+	f.sub.Reset()
+	f.ptr.Reset()
+}
+
+// Whole overwrites the entire receiver: everything is covered.
+type Whole struct {
+	x, y int
+	tags []string
+}
+
+func (w *Whole) Reset() { *w = Whole{} }
+
+// Flushed shows sibling-method coverage: Reset calls Flush, which
+// covers lines, so Reset only owes stamp.
+type Flushed struct {
+	lines []int
+	stamp int
+}
+
+func (c *Flushed) Flush() {
+	for i := range c.lines {
+		c.lines[i] = 0
+	}
+}
+
+func (c *Flushed) Reset() {
+	c.Flush()
+	c.stamp = 0
+}
+
+// ByAddress passes a field by address to a helper that zeroes it.
+type ByAddress struct {
+	state int
+}
+
+func zero(p *int) { *p = 0 }
+
+func (b *ByAddress) Reset() {
+	zero(&b.state)
+}

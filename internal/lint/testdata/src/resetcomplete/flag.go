@@ -1,0 +1,39 @@
+// Package resetcomplete is an fxlint test fixture: Reset methods that
+// miss receiver fields, with // want markers for the expected
+// diagnostics.
+package resetcomplete
+
+// Leaky resets a but forgets b and c.
+type Leaky struct {
+	a int
+	b []int
+	c map[int]bool
+}
+
+func (l *Leaky) Reset() { // want "(Leaky).Reset does not reset fields: b, c"
+	l.a = 0
+}
+
+// Delegating covers inner via a method call but still misses n.
+type part struct{ x int }
+
+func (p *part) Reset() { p.x = 0 }
+
+type Delegating struct {
+	inner part
+	n     int
+}
+
+func (d *Delegating) Reset() { // want "(Delegating).Reset does not reset fields: n"
+	d.inner.Reset()
+}
+
+// ValueRecv has a value receiver; coverage rules apply the same way.
+type ValueRecv struct {
+	hits  int
+	total int
+}
+
+func (v ValueRecv) Reset() { // want "(ValueRecv).Reset does not reset fields: total"
+	v.hits = 0
+}

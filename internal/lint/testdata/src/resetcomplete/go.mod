@@ -1,0 +1,3 @@
+module resetcomplete
+
+go 1.24

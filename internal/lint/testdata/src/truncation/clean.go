@@ -1,0 +1,34 @@
+package truncation
+
+// reducedMod converts after reducing in the wide type: the result
+// cannot exceed n, an int.
+func reducedMod(x uint64, n int) int {
+	return int(x % uint64(n))
+}
+
+// reducedMask masks before converting.
+func reducedMask(x uint64) int {
+	return int(x & 0xffff)
+}
+
+// reducedClear uses AND-NOT in the wide type.
+func reducedClear(x uint64) int {
+	return int(x &^ ^uint64(0xffff))
+}
+
+// constantFits converts a constant that fits in int32.
+const pageSize = 1 << 20
+
+func constantFits() int {
+	return int(int64(pageSize))
+}
+
+// narrowOperand converts from a type no wider than int32.
+func narrowOperand(x int32) int {
+	return int(x)
+}
+
+// annotated documents an out-of-band bound with a suppression.
+func annotated(x uint64) int {
+	return int(x) //fxlint:allow truncation — callers pass x < 4096
+}

@@ -1,0 +1,26 @@
+// Package truncation is an fxlint test fixture: narrowing conversions
+// of wide counters that wrap on GOARCH=386, with // want markers for
+// the expected diagnostics.
+package truncation
+
+import "sync/atomic"
+
+func toInt(x uint64) int {
+	return int(x) // want "int(...) of a uint64 value truncates on 32-bit platforms"
+}
+
+func toInt32(x int64) int32 {
+	return int32(x) // want "int32(...) of a int64 value truncates on 32-bit platforms"
+}
+
+func fromAtomicCounter(c *atomic.Int64) int {
+	return int(c.Add(1)) // want "int(...) of an atomic int64 value truncates on 32-bit platforms"
+}
+
+func fromWord(x uintptr) int {
+	return int(x) // want "int(...) of a uintptr value truncates on 32-bit platforms"
+}
+
+func afterArithmetic(x uint64) int {
+	return int(x + 1) // want "int(...) of a uint64 value truncates on 32-bit platforms"
+}

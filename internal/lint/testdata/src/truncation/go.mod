@@ -1,0 +1,3 @@
+module truncation
+
+go 1.24

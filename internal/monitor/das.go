@@ -49,8 +49,11 @@ func (m TriggerMode) String() string {
 // fixed-depth buffer of packed records.  Observe is called once per
 // machine cycle with the latched probe signals.
 type DAS struct {
-	depth      int
-	every      int // store one record per this many observed cycles
+	// Buffer depth and timebase are the instrument's hardware
+	// geometry; Reset clears an acquisition, not the instrument
+	// (fxlint:keep).
+	depth      int // fxlint:keep
+	every      int // store one record per this many observed cycles; fxlint:keep
 	phase      int
 	mode       TriggerMode
 	armed      bool

@@ -333,7 +333,9 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) 
 		return true, "" // free slot: no queuing, no shed check
 	default:
 	}
-	if n := s.waiting.Add(1); int(n) > s.cfg.MaxQueue {
+	// Compare in int64: int(n) on GOARCH=386 would wrap negative past
+	// 2^31 waiters and silently bypass the queue bound.
+	if n := s.waiting.Add(1); n > int64(s.cfg.MaxQueue) {
 		s.waiting.Add(-1)
 		s.metrics.recordShed(endpoint)
 		w.Header().Set("Retry-After", retryAfterSeconds)

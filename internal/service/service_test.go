@@ -493,3 +493,34 @@ func TestCLIAndServiceShareOneStore(t *testing.T) {
 		t.Errorf("daemon stats = %+v, want the CLI-written campaign restored from disk", stats)
 	}
 }
+
+// TestAdmitQueueBoundPastInt32 pins the 386 admission fix: the queue
+// bound comparison happens in int64.  The previous int(n) narrowing
+// wraps negative on 32-bit platforms once the waiting counter passes
+// 2^31, silently bypassing MaxQueue; with the fix, a request arriving
+// past the bound is shed regardless of how large the counter is.
+func TestAdmitQueueBoundPastInt32(t *testing.T) {
+	t.Parallel()
+	srv := New(Config{Cache: core.NewStudyCache(), MaxInFlight: 1, MaxQueue: 2})
+
+	// Occupy the only admission slot so admit must consult the queue.
+	srv.sem <- struct{}{}
+
+	// Wind the waiting counter past 2^31.  int(n) would be negative
+	// here on GOARCH=386 and compare below MaxQueue.
+	const wound = int64(1)<<31 + 7
+	srv.waiting.Store(wound)
+
+	req := httptest.NewRequest("GET", "/v1/study", nil)
+	rec := httptest.NewRecorder()
+	ok, why := srv.admit(rec, req, "study")
+	if ok || why != "shed" {
+		t.Fatalf("admit with waiting=%d: ok=%v why=%q, want a shed", wound, ok, why)
+	}
+	if rec.Code != http.StatusTooManyRequests {
+		t.Errorf("shed status = %d, want %d", rec.Code, http.StatusTooManyRequests)
+	}
+	if got := srv.waiting.Load(); got != wound {
+		t.Errorf("waiting counter = %d after shed, want %d (shed must undo its increment)", got, wound)
+	}
+}
