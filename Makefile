@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench bench-load profile ci
+.PHONY: all build fmt vet lint test race bench bench-coord bench-load profile ci
 
 all: build
 
@@ -70,8 +70,18 @@ bench:
 	$(call bench_layer,BENCH_service.json,ServiceStudy|MetricsRecord,./internal/service,-benchtime 20x -count 2)
 	$(call bench_layer,BENCH_obs.json,HistogramObserve|PrometheusRender|MutexMapRecord|TracerRecord,./internal/obs,-benchtime $(BENCHTIME) -count 3)
 	$(call bench_layer,BENCH_study.json,RunStudy,./internal/core,-benchtime 1x -count 3)
+	$(call bench_layer,BENCH_coord.json,JobCold|JobResume,./internal/coord,-benchtime 5x -count 2)
 	@rm -f .bench.tmp
-	$(GO) run ./cmd/benchdiff -print BENCH_fx8.json BENCH_concentrix.json BENCH_monitor.json BENCH_core.json BENCH_experiments.json BENCH_service.json BENCH_obs.json BENCH_study.json
+	$(GO) run ./cmd/benchdiff -print BENCH_fx8.json BENCH_concentrix.json BENCH_monitor.json BENCH_core.json BENCH_experiments.json BENCH_service.json BENCH_obs.json BENCH_study.json BENCH_coord.json
+
+# bench-coord measures the fleet coordinator's job machinery alone:
+# the same campaign job run cold (every unit computed) and resumed
+# against a warm unit cache (every unit replayed from the store) —
+# the checkpoint/resume overhead the /v1/jobs API rides on.
+bench-coord:
+	$(call bench_layer,BENCH_coord.json,JobCold|JobResume,./internal/coord,-benchtime 5x -count 2)
+	@rm -f .bench.tmp
+	$(GO) run ./cmd/benchdiff -print BENCH_coord.json
 
 # bench-load measures the fx8d service under open-loop traffic with
 # cmd/loadgen: steady and bursty arrivals over the artefact, unit and

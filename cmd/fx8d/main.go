@@ -9,12 +9,18 @@
 //
 //	fx8d [-addr HOST:PORT] [-cache DIR] [-workers N] [-max-inflight N]
 //	     [-max-queue N] [-cache-max-bytes N] [-debug-addr HOST:PORT]
-//	     [-access-log]
+//	     [-access-log] [-join URL] [-advertise ADDR] [-heartbeat DUR]
 //
 // -debug-addr starts a second listener serving net/http/pprof
 // (/debug/pprof/) — profiling stays off the service port and off by
 // default.  -access-log emits one structured log line per request to
 // stderr, carrying the request ID that GET /v1/trace/{id} keys on.
+//
+// Every daemon embeds a fleet campaign coordinator behind the
+// /v1/jobs API; with -cache it resumes interrupted jobs at boot.
+// -join URL registers this daemon as a work backend with another
+// daemon's coordinator, re-registering every -heartbeat until
+// shutdown, so the fleet's membership follows the live processes.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests.  See internal/service for the endpoint list.
@@ -36,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -63,6 +70,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	maxQueue := fs.Int("max-queue", 0, "expensive requests allowed to wait for admission before 429s (0 = 4x max-inflight)")
 	debugAddr := fs.String("debug-addr", "", "listen address for the pprof debug server (empty = disabled)")
 	accessLog := fs.Bool("access-log", false, "log one structured line per request to stderr")
+	join := fs.String("join", "", "coordinator URL to register with as a fleet backend (empty = standalone)")
+	advertise := fs.String("advertise", "", "address to advertise to the coordinator (default: the listen address)")
+	heartbeat := fs.Duration("heartbeat", coord.DefaultTTL/3, "re-registration cadence while joined to a coordinator")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
@@ -93,6 +103,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	srv := service.New(cfg)
+	defer srv.Close()
+
+	// A persistent store may hold jobs a previous daemon left in state
+	// running (crash, kill -9, graceful stop mid-campaign); restart
+	// them — completed units replay from the unit cache, so resume
+	// costs only what the dead daemon had not finished.
+	if n := srv.Coordinator().ResumeInterrupted(); n > 0 {
+		fmt.Fprintf(stdout, "resumed %d interrupted job(s)\n", n)
+	}
 
 	if *debugAddr != "" {
 		// pprof registers on http.DefaultServeMux; serving it from a
@@ -113,6 +132,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	hs := &http.Server{Handler: srv}
 	fmt.Fprintf(stdout, "fx8d listening on %s\n", ln.Addr())
+
+	// Fleet membership: announce this daemon to a coordinator and keep
+	// the registration alive until shutdown.  The coordinator will
+	// then dispatch campaign units here via POST /v1/run/*.
+	if *join != "" {
+		workerAddr := *advertise
+		if workerAddr == "" {
+			workerAddr = ln.Addr().String()
+		}
+		fmt.Fprintf(stdout, "joining fleet at %s as %s\n", *join, workerAddr)
+		go coord.HeartbeatLoop(ctx, nil, *join, workerAddr, *heartbeat)
+	}
 
 	// Graceful shutdown: when the signal context fires, stop
 	// accepting, drain in-flight requests, then let Serve return.

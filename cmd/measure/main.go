@@ -7,11 +7,16 @@
 // fx8d nodes (failed or slow backends are retried and hedged; local
 // compute is the fallback).
 //
+// With -job, the sessions are instead submitted to an fx8d
+// coordinator as one persistent job (POST /v1/jobs) and polled to
+// completion — the submit-and-poll path for ad-hoc unit lists, with
+// the daemon checkpointing per unit so an interrupted run resumes.
+//
 // Usage:
 //
 //	measure [-mode random|all8|transition] [-seed N] [-samples N]
 //	        [-sessions N] [-workers N] [-cache DIR]
-//	        [-backends HOST:PORT,...]
+//	        [-backends HOST:PORT,...] [-job URL]
 package main
 
 import (
@@ -19,8 +24,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/cli"
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -47,17 +54,18 @@ type sessionsKey struct {
 // result (nil marks a defective runner result).  Like the sweep and
 // campaign paths, a defective fleet — a backend answering 200 with
 // the wrong shape — costs a local recompute, never the run.
-func runSessions[T any](workers int, runner core.StudyRunner, n int,
+//
+// With jobURL the units are instead submitted to an fx8d coordinator
+// as one persistent job and the job's result unwrapped; job failures
+// are the coordinator's to retry (it drains failed backends locally),
+// so there is no client-side fallback on that path.
+func runSessions[T any](jobURL string, workers int, runner core.StudyRunner, n int,
 	mkUnit func(i int) core.StudyUnit, pick func(core.StudyUnitResult) *T) ([]*T, error) {
 	units := make([]core.StudyUnit, n)
 	for i := range units {
 		units[i] = mkUnit(i)
 	}
-	run := func(r core.StudyRunner) ([]*T, error) {
-		results, err := engine.RunAll(context.Background(), workers, units, r, nil)
-		if err != nil {
-			return nil, err
-		}
+	unwrap := func(results []core.StudyUnitResult) ([]*T, error) {
 		out := make([]*T, len(results))
 		for i, res := range results {
 			p := pick(res)
@@ -67,6 +75,24 @@ func runSessions[T any](workers int, runner core.StudyRunner, n int,
 			out[i] = p
 		}
 		return out, nil
+	}
+	if jobURL != "" {
+		res, err := coord.SubmitAndWait(context.Background(), nil, jobURL,
+			coord.JobSpec{Kind: "sessions", Units: units}, 100*time.Millisecond)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Sessions) != len(units) {
+			return nil, fmt.Errorf("job returned %d results for %d units", len(res.Sessions), len(units))
+		}
+		return unwrap(res.Sessions)
+	}
+	run := func(r core.StudyRunner) ([]*T, error) {
+		results, err := engine.RunAll(context.Background(), workers, units, r, nil)
+		if err != nil {
+			return nil, err
+		}
+		return unwrap(results)
 	}
 	if runner == nil {
 		return run(core.LocalStudyRunner())
@@ -88,6 +114,7 @@ func run(args []string, stdout io.Writer) error {
 	wave := fs.Int("wave", 0, "render the first N records of the first buffer as a waveform")
 	cacheDir := fs.String("cache", "", "campaign store directory (shared with the other tools and fx8d)")
 	backends := fs.String("backends", "", "comma-separated fx8d backends (host:port,...) to shard sessions across")
+	jobURL := fs.String("job", "", "fx8d coordinator URL to submit the sessions to as a persistent job (empty = run here)")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
@@ -107,7 +134,7 @@ func run(args []string, stdout io.Writer) error {
 	switch *mode {
 	case "random":
 		runs, err := store.GetOrComputeJSON(st, "measure-random/v1", key, func() ([]*core.Session, error) {
-			return runSessions(*workers, runner, *sessions,
+			return runSessions(*jobURL, *workers, runner, *sessions,
 				func(i int) core.StudyUnit {
 					spec := core.DefaultSessionSpec(*seed + uint64(i))
 					spec.Samples = *samples
@@ -143,7 +170,7 @@ func run(args []string, stdout io.Writer) error {
 			trigger = monitor.TriggerTransition
 		}
 		runs, err := store.GetOrComputeJSON(st, "measure-triggered/v1", key, func() ([]*core.TriggeredSession, error) {
-			return runSessions(*workers, runner, *sessions,
+			return runSessions(*jobURL, *workers, runner, *sessions,
 				func(i int) core.StudyUnit {
 					spec := core.DefaultTriggeredSpec(trigger, *seed+uint64(i))
 					spec.Samples = *samples

@@ -8,18 +8,27 @@
 // With -cache, completed sweeps are persisted to the campaign store
 // shared with the other tools and fx8d.
 //
+// With -job, the sweep is instead submitted to an fx8d coordinator as
+// a persistent job (POST /v1/jobs) and polled to completion: the
+// daemon executes and checkpoints it, so a sweep interrupted by a
+// daemon restart resumes from its completed units rather than
+// starting over.
+//
 // Usage:
 //
 //	sweep [-kind sched|cache|ce] [-seed N] [-samples N] [-workers N]
-//	      [-cache DIR] [-backends HOST:PORT,...]
+//	      [-cache DIR] [-backends HOST:PORT,...] [-job URL]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/cli"
+	"repro/internal/coord"
 	"repro/internal/experiments"
 	"repro/internal/remote"
 	"repro/internal/store"
@@ -35,6 +44,7 @@ func run(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "parallel sweep-point workers (0 = one per CPU, or sized to the backend fleet)")
 	cacheDir := fs.String("cache", "", "campaign store directory (shared with the other tools and fx8d)")
 	backends := fs.String("backends", "", "comma-separated fx8d backends (host:port,...) to shard sweep points across")
+	jobURL := fs.String("job", "", "fx8d coordinator URL to submit the sweep to as a persistent job (empty = run here)")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
@@ -44,6 +54,15 @@ func run(args []string, stdout io.Writer) error {
 		Values:  experiments.DefaultSweepValues(*kind),
 		Seed:    *seed,
 		Samples: *samples,
+	}
+	if *jobURL != "" {
+		res, err := coord.SubmitAndWait(context.Background(), nil, *jobURL,
+			coord.JobSpec{Kind: "sweep", Sweep: &cfg}, 100*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, experiments.SweepTable(experiments.SweepTitle(*kind), res.Points))
+		return nil
 	}
 	var st *store.Store
 	if *cacheDir != "" {

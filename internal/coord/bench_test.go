@@ -1,0 +1,102 @@
+package coord_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/store"
+)
+
+// awaitB polls a job to a terminal state for benchmarks.
+func awaitB(b *testing.B, c *coord.Coordinator, id string) {
+	b.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := c.Status(id)
+		if err == nil && st.State == coord.StateDone {
+			return
+		}
+		if err == nil && coord.TerminalState(st.State) {
+			b.Fatalf("job ended %s: %s", st.State, st.Error)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Fatalf("job %s did not finish", id)
+}
+
+// BenchmarkJobCold measures a campaign job executed from nothing: a
+// fresh store per iteration, every unit computed.
+func BenchmarkJobCold(b *testing.B) {
+	spec := coord.JobSpec{Kind: "sessions", Units: sessionUnits(4)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := store.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := coord.New(coord.Config{Store: s})
+		b.StartTimer()
+
+		st, _, err := c.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		awaitB(b, c, st.ID)
+
+		b.StopTimer()
+		c.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkJobResume measures the same campaign resumed against a
+// pre-warmed unit cache: the job record is dropped, so the job
+// restarts, but every unit replays as a store hit — the pure
+// coordinator + checkpoint-replay overhead benchdiff gates.
+func BenchmarkJobResume(b *testing.B) {
+	spec := coord.JobSpec{Kind: "sessions", Units: sessionUnits(4)}
+	dir := b.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := coord.New(coord.Config{Store: s})
+	st, _, err := warm.Submit(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	awaitB(b, warm, st.ID)
+	warm.Close()
+	recKey, err := store.Key("job/v1", st.ID)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Dropping the record makes the next Submit restart the job;
+		// the unit entries stay, so the run is a pure replay.
+		if err := s.Delete(recKey); err != nil {
+			b.Fatal(err)
+		}
+		c := coord.New(coord.Config{Store: s})
+		b.StartTimer()
+
+		st, _, err := c.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		awaitB(b, c, st.ID)
+
+		b.StopTimer()
+		if got := c.Stats(); got.UnitsComputed != 0 {
+			b.Fatalf("resume iteration computed %d units; want pure replay", got.UnitsComputed)
+		}
+		c.Close()
+		b.StartTimer()
+	}
+}

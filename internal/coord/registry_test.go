@@ -1,0 +1,71 @@
+package coord
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRegistryLifecycle(t *testing.T) {
+	r := NewRegistry()
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty registry Snapshot() = %v", got)
+	}
+
+	r.Register("b:2", time.Minute)
+	r.Register("a:1", time.Minute)
+	got := r.Snapshot()
+	if len(got) != 2 || got[0] != "a:1" || got[1] != "b:2" {
+		t.Fatalf("Snapshot() = %v, want sorted [a:1 b:2]", got)
+	}
+
+	r.Deregister("a:1")
+	if got := r.Snapshot(); len(got) != 1 || got[0] != "b:2" {
+		t.Fatalf("Snapshot() after deregister = %v, want [b:2]", got)
+	}
+}
+
+func TestRegistryTTLExpiry(t *testing.T) {
+	r := NewRegistry()
+	// MinTTL clamps the requested TTL up to 1s, so expiry is tested
+	// by rewinding the stored deadline instead of sleeping.
+	r.Register("stale:1", time.Minute)
+	r.Register("live:1", time.Minute)
+	r.mu.Lock()
+	r.members["stale:1"] = time.Now().Add(-time.Second)
+	r.mu.Unlock()
+
+	if got := r.Snapshot(); len(got) != 1 || got[0] != "live:1" {
+		t.Fatalf("Snapshot() = %v, want the lapsed member dropped", got)
+	}
+	// The lapsed entry was reaped, not just filtered.
+	r.mu.Lock()
+	_, still := r.members["stale:1"]
+	r.mu.Unlock()
+	if still {
+		t.Error("lapsed member still in the map after Snapshot")
+	}
+
+	// Re-registration revives it.
+	r.Register("stale:1", time.Minute)
+	if got := r.Snapshot(); len(got) != 2 {
+		t.Fatalf("Snapshot() after re-register = %v, want 2 members", got)
+	}
+}
+
+func TestRegistryTTLClamp(t *testing.T) {
+	r := NewRegistry()
+	now := time.Now()
+	if deadline := r.Register("a:1", time.Millisecond); deadline.Before(now.Add(MinTTL / 2)) {
+		t.Errorf("deadline %v not clamped up to MinTTL", deadline)
+	}
+	if deadline := r.Register("a:1", time.Hour); deadline.After(now.Add(MaxTTL + time.Minute)) {
+		t.Errorf("deadline %v not clamped down to MaxTTL", deadline)
+	}
+	if deadline := r.Register("a:1", 0); deadline.Before(now.Add(DefaultTTL / 2)) {
+		t.Errorf("deadline %v ignores DefaultTTL", deadline)
+	}
+	entries := r.Entries()
+	if len(entries) != 1 || entries[0].Addr != "a:1" {
+		t.Fatalf("Entries() = %+v", entries)
+	}
+}

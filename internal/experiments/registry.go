@@ -137,6 +137,19 @@ type SweepConfig struct {
 	Samples int
 }
 
+// SweepKey returns the content address of a sweep's cached points —
+// the same key CachedSweep reads and writes, exported so the
+// coordinator can assemble a campaign's points under the address the
+// service and CLI tools already look up.
+func SweepKey(cfg SweepConfig) (string, error) {
+	return store.Key(sweepNamespace, cfg)
+}
+
+// Units expands the sweep into its work units, in output order.
+func (cfg SweepConfig) Units() []SweepUnit {
+	return sweepUnits(cfg.Kind, cfg.Values, cfg.Seed, cfg.Samples)
+}
+
 // SweepKinds lists the valid sweep kinds.
 func SweepKinds() []string { return []string{"sched", "cache", "ce"} }
 

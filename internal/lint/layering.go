@@ -63,6 +63,7 @@ var LayerRules = []*LayerRule{
 			"repro/internal/store",
 			"repro/internal/engine",
 			"repro/internal/obs",
+			"repro/internal/coord",
 		},
 		Why: "the simulator stack must stay a pure library: serving, distribution, persistence and telemetry layer above it",
 	},
@@ -71,8 +72,14 @@ var LayerRules = []*LayerRule{
 		Deny: []string{
 			"repro/internal/service",
 			"repro/internal/remote",
+			"repro/internal/coord",
 		},
 		Why: "the measurement/experiment layer is what the service serves; importing the service inverts the DAG",
+	},
+	{
+		Pkgs: []string{"repro/internal/coord"},
+		Deny: []string{"repro/internal/service"},
+		Why:  "the service fronts the coordinator over HTTP; the coordinator importing the service inverts the DAG",
 	},
 }
 

@@ -1,0 +1,82 @@
+package remote
+
+import (
+	"net/http"
+	"time"
+)
+
+// BackendSource supplies the current fleet membership: Snapshot
+// returns the live backend addresses, in a stable order.  The
+// coordinator's registry (internal/coord.Registry, fed by POST
+// /v1/backends/register heartbeats) implements it; a client built
+// with WithRegistry re-reads the snapshot on every unit or batch and
+// follows joins and leaves without reconstruction.
+type BackendSource interface {
+	Snapshot() []string
+}
+
+// Option configures a Config functionally, so call sites name only
+// the knobs they mean to turn and zero-value footguns (a BatchUnits
+// without a BatchPath, a hedge of 0 meaning "default" in one place
+// and "off" in another) stay inside this package.  Build a Config
+// with Options(...) or pass options straight to StudyClient /
+// SweepClient.
+type Option func(*Config)
+
+// Options folds opts into a Config.  The result still goes through
+// NewClient's defaulting, so an unset knob means its Default*.
+func Options(opts ...Option) Config {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithBackends sets the static backend list (the -backends flag
+// path).  When a registry is also configured, the registry's snapshot
+// replaces this list on first use.
+func WithBackends(addrs ...string) Option {
+	return func(c *Config) { c.Backends = addrs }
+}
+
+// WithRegistry makes fleet membership dynamic: the client re-reads
+// src.Snapshot() before every unit or batch, adding backends that
+// joined and dropping ones whose heartbeat lapsed.  A backend that
+// leaves and rejoins keeps its latency history but has its failure
+// quarantine cleared — re-registration is the operator's "it's fixed"
+// signal.
+func WithRegistry(src BackendSource) Option {
+	return func(c *Config) { c.Registry = src }
+}
+
+// WithHedge sets how long a unit's newest attempt may run before a
+// duplicate is fired at another backend.  d <= 0 keeps
+// DefaultHedgeAfter.
+func WithHedge(d time.Duration) Option {
+	return func(c *Config) { c.HedgeAfter = d }
+}
+
+// WithBatch sets how many units one batched POST carries.  units == 1
+// forces unbatched execution (no batch path is configured); units <=
+// 0 keeps the constructor default.
+func WithBatch(units int) Option {
+	return func(c *Config) { c.BatchUnits = units }
+}
+
+// WithUnitTimeout bounds one attempt of one unit on one backend.
+// d <= 0 keeps DefaultUnitTimeout.
+func WithUnitTimeout(d time.Duration) Option {
+	return func(c *Config) { c.UnitTimeout = d }
+}
+
+// WithMaxFailures sets how many consecutive failed units quarantine a
+// backend.  n <= 0 keeps DefaultMaxFailures.
+func WithMaxFailures(n int) Option {
+	return func(c *Config) { c.MaxFailures = n }
+}
+
+// WithHTTPClient overrides the transport (tests, custom timeouts).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Config) { c.HTTPClient = h }
+}

@@ -19,6 +19,23 @@
 // per request behind the daemon's admission semaphore and cache unit
 // results in the campaign store.
 //
+// # Configuration and membership
+//
+// Clients are built from functional options — StudyClient(
+// WithBackends(...), WithHedge(...), WithBatch(...)) — or from a
+// literal Config via the New*Client constructors.  WithRegistry
+// attaches a BackendSource (e.g. the fleet coordinator's TTL'd
+// registry) so membership is re-snapshotted per scheduling decision:
+// lapsed backends stop receiving units, and a backend that rejoins
+// sheds its dead/failure quarantine along with the old entry.
+//
+// # Errors
+//
+// Non-2xx responses from fx8d carry the unified ErrorResponse
+// envelope (code, message, request ID); the client decodes it and
+// surfaces "code: message" in its error strings, so callers and logs
+// can branch on the machine-readable code.
+//
 // # Telemetry and tracing
 //
 // The client keeps a per-backend latency histogram (every attempt,
@@ -39,6 +56,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -99,6 +117,13 @@ type Config struct {
 	// BatchPath is set.  0 means DefaultBatchUnits.
 	BatchUnits int
 
+	// Registry, when set, makes fleet membership dynamic: its
+	// Snapshot is re-read before every unit or batch and replaces the
+	// backend list, so workers registered via POST /v1/backends/
+	// register join mid-campaign and lapsed heartbeats drop out.  The
+	// static Backends list seeds membership until the first snapshot.
+	Registry BackendSource
+
 	// HTTPClient overrides the transport (tests); nil uses a
 	// dedicated default client.
 	HTTPClient *http.Client
@@ -137,10 +162,19 @@ func (b *backend) ok() {
 // computes a unit in-process when no backend can.  All methods are
 // safe for concurrent use; drive it with engine.RunAll.
 type Client[U, R any] struct {
-	cfg         Config
-	backends    []*backend
-	fallback    func(U) (R, error)
-	httpc       *http.Client
+	cfg      Config
+	fallback func(U) (R, error)
+	httpc    *http.Client
+
+	// Membership.  The backends slice is replaced wholesale under mu
+	// on every registry refresh and never mutated in place, so view()
+	// hands out a stable snapshot; byAddr survives leaves so a
+	// rejoining backend keeps its latency history.
+	mu       sync.RWMutex
+	backends []*backend
+	byAddr   map[string]*backend
+	sig      string // joined snapshot the current membership was built from
+
 	rr          atomic.Uint64 // round-robin tiebreak for pick
 	fallbackN   atomic.Uint64
 	hedgeN      atomic.Uint64
@@ -165,23 +199,89 @@ func NewClient[U, R any](cfg Config, fallback func(U) (R, error)) *Client[U, R] 
 	if cfg.BatchUnits <= 0 {
 		cfg.BatchUnits = DefaultBatchUnits
 	}
-	c := &Client[U, R]{cfg: cfg, fallback: fallback, httpc: cfg.HTTPClient}
+	c := &Client[U, R]{cfg: cfg, fallback: fallback, httpc: cfg.HTTPClient,
+		byAddr: make(map[string]*backend)}
 	if c.httpc == nil {
 		c.httpc = &http.Client{}
 	}
 	for _, addr := range cfg.Backends {
-		url := addr
-		if !strings.Contains(url, "://") {
-			url = "http://" + url
-		}
-		base := strings.TrimRight(url, "/")
-		b := &backend{addr: addr, url: base + cfg.Path, lat: obs.NewHistogram(nil)}
-		if cfg.BatchPath != "" {
-			b.batchURL = base + cfg.BatchPath
-		}
+		b := c.newBackend(addr)
+		c.byAddr[addr] = b
 		c.backends = append(c.backends, b)
 	}
+	c.refresh()
 	return c
+}
+
+// newBackend resolves one configured address into its endpoint URLs.
+func (c *Client[U, R]) newBackend(addr string) *backend {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	base := strings.TrimRight(url, "/")
+	b := &backend{addr: addr, url: base + c.cfg.Path, lat: obs.NewHistogram(nil)}
+	if c.cfg.BatchPath != "" {
+		b.batchURL = base + c.cfg.BatchPath
+	}
+	return b
+}
+
+// refresh re-reads the registry snapshot and swaps in the new
+// membership when it changed.  Retained addresses keep their backend
+// (stats, health) untouched; a re-appearing address is revived —
+// quarantine and failure count cleared — because re-registration
+// after an absence is the signal the node was fixed; absent addresses
+// simply drop out of the slice (byAddr remembers them for a later
+// rejoin).  Without a registry this is a no-op and membership is the
+// static Backends list for the life of the client.
+func (c *Client[U, R]) refresh() {
+	if c.cfg.Registry == nil {
+		return
+	}
+	addrs := c.cfg.Registry.Snapshot()
+	// The NUL prefix keeps any snapshot — including an empty one —
+	// distinct from the never-refreshed zero sig, so the static seed
+	// list is replaced exactly once even by an empty fleet.
+	sig := "\x00" + strings.Join(addrs, ",")
+	c.mu.RLock()
+	same := sig == c.sig
+	c.mu.RUnlock()
+	if same {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sig == c.sig { // lost the rebuild race to an identical snapshot
+		return
+	}
+	list := make([]*backend, 0, len(addrs))
+	current := make(map[string]bool, len(c.backends))
+	for _, b := range c.backends {
+		current[b.addr] = true
+	}
+	for _, addr := range addrs {
+		b, ok := c.byAddr[addr]
+		if !ok {
+			b = c.newBackend(addr)
+			c.byAddr[addr] = b
+		} else if !current[addr] {
+			b.dead.Store(false)
+			b.failures.Store(0)
+			b.noBatch.Store(false)
+		}
+		list = append(list, b)
+	}
+	c.backends = list
+	c.sig = sig
+}
+
+// view returns the current membership snapshot.  The slice is
+// immutable once published, so callers iterate without holding mu.
+func (c *Client[U, R]) view() []*backend {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.backends
 }
 
 // Concurrency implements engine.Sizer: with backends configured the
@@ -192,10 +292,12 @@ func (c *Client[U, R]) Concurrency(requested int) int {
 	if requested > 0 {
 		return requested
 	}
-	if len(c.backends) == 0 {
+	c.refresh()
+	n := len(c.view())
+	if n == 0 {
 		return 0 // let the engine pick DefaultWorkers
 	}
-	return 4 * len(c.backends)
+	return 4 * n
 }
 
 // RunUnit implements engine.Runner: it executes one unit on the
@@ -210,6 +312,11 @@ func (c *Client[U, R]) RunUnit(ctx context.Context, unit U) (R, error) {
 		return zero, fmt.Errorf("remote: encoding unit: %w", err)
 	}
 
+	// Membership is pinned per unit: a refresh mid-unit affects the
+	// next unit, not attempts already in flight.
+	c.refresh()
+	backends := c.view()
+
 	// unitCtx cancels the losers once any attempt wins.
 	unitCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -219,8 +326,8 @@ func (c *Client[U, R]) RunUnit(ctx context.Context, unit U) (R, error) {
 		err error
 		b   *backend
 	}
-	results := make(chan attempt, len(c.backends)) // attempts never block on send
-	tried := make(map[*backend]bool, len(c.backends))
+	results := make(chan attempt, len(backends)) // attempts never block on send
+	tried := make(map[*backend]bool, len(backends))
 	inFlight := 0
 
 	// The hedge clock follows the most recently launched attempt: it
@@ -245,7 +352,7 @@ func (c *Client[U, R]) RunUnit(ctx context.Context, unit U) (R, error) {
 	// reporting whether one existed, and rewinds the hedge clock for
 	// the new attempt.
 	launch := func() bool {
-		b := c.pick(tried)
+		b := c.pick(backends, tried)
 		if b == nil {
 			return false
 		}
@@ -314,7 +421,11 @@ func (c *Client[U, R]) RunUnit(ctx context.Context, unit U) (R, error) {
 // on when a batch path is configured and backends exist; otherwise 1
 // tells the engine to drive RunUnit.
 func (c *Client[U, R]) BatchUnits() int {
-	if c.cfg.BatchPath == "" || len(c.backends) == 0 {
+	if c.cfg.BatchPath == "" {
+		return 1
+	}
+	c.refresh()
+	if len(c.view()) == 0 {
 		return 1
 	}
 	return c.cfg.BatchUnits
@@ -336,10 +447,12 @@ func (c *Client[U, R]) RunBatch(ctx context.Context, units []U) ([]R, error) {
 	if err != nil {
 		return nil, fmt.Errorf("remote: encoding unit batch: %w", err)
 	}
-	tried := make(map[*backend]bool, len(c.backends))
+	c.refresh()
+	backends := c.view()
+	tried := make(map[*backend]bool, len(backends))
 	failed := 0 // attempts that failed on a live backend (not version skew)
 	for {
-		b := c.pickBatch(tried)
+		b := c.pickBatch(backends, tried)
 		if b == nil {
 			break
 		}
@@ -404,8 +517,8 @@ func (c *Client[U, R]) RunBatch(ctx context.Context, units []U) ([]R, error) {
 }
 
 // pickBatch is pick restricted to batch-capable backends.
-func (c *Client[U, R]) pickBatch(tried map[*backend]bool) *backend {
-	n := len(c.backends)
+func (c *Client[U, R]) pickBatch(backends []*backend, tried map[*backend]bool) *backend {
+	n := len(backends)
 	if n == 0 {
 		return nil
 	}
@@ -413,7 +526,7 @@ func (c *Client[U, R]) pickBatch(tried map[*backend]bool) *backend {
 	var best *backend
 	var bestLoad int64
 	for i := 0; i < n; i++ {
-		b := c.backends[(start+i)%n]
+		b := backends[(start+i)%n]
 		if tried[b] || b.dead.Load() || b.noBatch.Load() || b.batchURL == "" {
 			continue
 		}
@@ -426,8 +539,8 @@ func (c *Client[U, R]) pickBatch(tried map[*backend]bool) *backend {
 
 // pick returns the untried live backend with the fewest units in
 // flight, rotating the scan start so ties spread round-robin.
-func (c *Client[U, R]) pick(tried map[*backend]bool) *backend {
-	n := len(c.backends)
+func (c *Client[U, R]) pick(backends []*backend, tried map[*backend]bool) *backend {
+	n := len(backends)
 	if n == 0 {
 		return nil
 	}
@@ -439,7 +552,7 @@ func (c *Client[U, R]) pick(tried map[*backend]bool) *backend {
 	var best *backend
 	var bestLoad int64
 	for i := 0; i < n; i++ {
-		b := c.backends[(start+i)%n]
+		b := backends[(start+i)%n]
 		if tried[b] || b.dead.Load() {
 			continue
 		}
@@ -492,11 +605,7 @@ func (c *Client[U, R]) postRaw(ctx context.Context, b *backend, url string, payl
 		return nil, resp.StatusCode, fmt.Errorf("remote: %s: reading response: %w", b.addr, err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		msg := strings.TrimSpace(string(body))
-		if len(msg) > 200 {
-			msg = msg[:200]
-		}
-		return nil, resp.StatusCode, fmt.Errorf("remote: %s: %s: %s", b.addr, resp.Status, msg)
+		return nil, resp.StatusCode, fmt.Errorf("remote: %s: %s: %s", b.addr, resp.Status, errorBody(body))
 	}
 	return body, resp.StatusCode, nil
 }
@@ -538,7 +647,7 @@ func (c *Client[U, R]) Stats() Stats {
 		Reroutes:    c.rerouteN.Load(),
 		Quarantines: c.quarantineN.Load(),
 	}
-	for _, b := range c.backends {
+	for _, b := range c.view() {
 		p50, p95, p99 := b.lat.Snapshot().Quantiles()
 		s.Backends = append(s.Backends, BackendStats{
 			Addr:     b.addr,

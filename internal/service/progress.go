@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/remote"
 )
 
 // progressBoard tracks session completion of in-flight campaigns, fed
@@ -88,13 +89,13 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	scale, cfg, err := scaleParam(r)
 	if err != nil {
 		s.metrics.record("progress", time.Since(start), true)
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		writeError(w, http.StatusBadRequest, remote.CodeInvalidConfig, err.Error())
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		s.metrics.record("progress", time.Since(start), true)
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "streaming unsupported"})
+		writeError(w, http.StatusInternalServerError, remote.CodeInternal, "streaming unsupported")
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")

@@ -9,18 +9,34 @@
 //
 // Endpoints (all JSON unless noted):
 //
-//	GET  /v1/healthz          liveness, uptime, in-flight count
-//	GET  /v1/study?scale=S    campaign summary (quick|paper)
-//	GET  /v1/tables/{name}    table 1|2|3|4|a1
-//	GET  /v1/figures/{name}   figure 3..14, A.*, B.*
-//	GET  /v1/sweep?param=P    sweep sched|cache|ce
-//	GET  /v1/progress?scale=S SSE stream of campaign progress
-//	GET  /v1/metrics          per-endpoint latency + cache hit rates
-//	GET  /v1/trace/{id}       spans recorded under one request ID
-//	POST /v1/purge            drop both cache tiers
-//	POST /v1/run/session      execute one campaign session unit
-//	POST /v1/run/sessions     execute a batch of session units
-//	POST /v1/run/sweep        execute one sweep-point unit
+//	GET  /v1/healthz                 liveness, uptime, in-flight count
+//	GET  /v1/study?scale=S           campaign summary (quick|paper)
+//	GET  /v1/artefacts/{kind}/{name} rendered table or figure
+//	GET  /v1/tables/{name}           alias of /v1/artefacts/table/{name}
+//	GET  /v1/figures/{name}          alias of /v1/artefacts/figure/{name}
+//	GET  /v1/sweep?param=P           sweep sched|cache|ce
+//	GET  /v1/progress?scale=S        SSE stream of campaign progress
+//	GET  /v1/metrics                 per-endpoint latency + cache hit rates
+//	GET  /v1/trace/{id}              spans recorded under one request ID
+//	POST /v1/purge                   drop both cache tiers
+//	POST /v1/run/session             execute one campaign session unit
+//	POST /v1/run/sessions            execute a batch of session units
+//	POST /v1/run/sweep               execute one sweep-point unit
+//	POST /v1/jobs                    submit a campaign job (201/200)
+//	GET  /v1/jobs                    list known jobs
+//	GET  /v1/jobs/{id}               job state machine + progress
+//	GET  /v1/jobs/{id}/result        finished job's payload
+//	GET  /v1/jobs/{id}/events        SSE stream of job progress
+//	DELETE /v1/jobs/{id}             cancel a running job
+//	POST /v1/backends/register       announce a worker (TTL'd)
+//	GET  /v1/backends                live fleet membership
+//
+// The /v1/jobs endpoints are internal/coord's job-resource API:
+// campaigns as persistent, resumable resources with checkpoint in the
+// unit cache (see that package's doc for the lifecycle and resume
+// semantics).  Every non-2xx response from any endpoint carries the
+// unified error envelope — remote.ErrorResponse: a machine-readable
+// code, the message, and the request ID for trace correlation.
 //
 // The /v1/run endpoints are the serving side of sharded execution
 // (internal/remote): each request carries JSON work units, runs
@@ -81,6 +97,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -141,6 +158,16 @@ type Config struct {
 	// request (endpoint, method, path, outcome, duration, request
 	// ID).  nil disables access logging.
 	Logger *slog.Logger
+
+	// Coordinator backs the /v1/jobs API.  nil creates a private
+	// coordinator sharing the cache's store and Registry; pass one to
+	// share jobs with the daemon's resume-at-boot logic (cmd/fx8d).
+	Coordinator *coord.Coordinator
+
+	// Registry backs /v1/backends registration.  nil creates a fresh
+	// registry.  Ignored when Coordinator is set — the coordinator's
+	// own registry is authoritative, so register a Registry there.
+	Registry *coord.Registry
 }
 
 // Default request-cost bounds for Config's zero fields.
@@ -153,6 +180,8 @@ const (
 type Server struct {
 	cfg      Config
 	cache    *core.StudyCache
+	coord    *coord.Coordinator
+	ownCoord bool // New built the coordinator; Close tears it down
 	mux      *http.ServeMux
 	sem      chan struct{}
 	waiting  atomic.Int64 // expensive requests queued for admission
@@ -182,6 +211,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		cache:    cfg.Cache,
+		coord:    cfg.Coordinator,
 		mux:      http.NewServeMux(),
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		metrics:  newMetrics(),
@@ -189,13 +219,22 @@ func New(cfg Config) *Server {
 		progress: newProgressBoard(),
 		start:    time.Now(),
 	}
+	if s.coord == nil {
+		s.coord = coord.New(coord.Config{
+			Store:    cfg.Cache.Store(),
+			Registry: cfg.Registry,
+			Workers:  cfg.Workers,
+		})
+		s.ownCoord = true
+	}
 	s.cache.OnProgress = s.progress.observe
 	s.registerProcess()
 
 	s.handle("GET /v1/healthz", "healthz", false, s.handleHealthz)
 	s.handle("GET /v1/study", "study", true, s.handleStudy)
-	s.handle("GET /v1/tables/{name}", "tables", true, s.handleTable)
-	s.handle("GET /v1/figures/{name}", "figures", true, s.handleFigure)
+	s.handle("GET /v1/artefacts/{kind}/{name}", "artefacts", true, s.handleArtefact)
+	s.handle("GET /v1/tables/{name}", "tables", true, s.handleTableAlias)
+	s.handle("GET /v1/figures/{name}", "figures", true, s.handleFigureAlias)
 	s.handle("GET /v1/sweep", "sweep", true, s.handleSweep)
 	s.handle("GET /v1/metrics", "metrics", false, s.handleMetrics)
 	s.handle("GET /v1/trace/{id}", "trace", false, s.handleTrace)
@@ -203,9 +242,34 @@ func New(cfg Config) *Server {
 	s.handle("POST "+remote.SessionPath, "run_session", true, s.handleRunSession)
 	s.handle("POST "+remote.SessionBatchPath, "run_sessions", true, s.handleRunSessionBatch)
 	s.handle("POST "+remote.SweepPath, "run_sweep", true, s.handleRunSweep)
+	s.handle("POST "+coord.JobsPath, "jobs", false, s.handleJobSubmit)
+	s.handle("GET "+coord.JobsPath, "jobs", false, s.handleJobList)
+	s.handle("GET "+coord.JobsPath+"/{id}", "jobs", false, s.handleJobGet)
+	s.handle("GET "+coord.JobsPath+"/{id}/result", "jobs", false, s.handleJobResult)
+	s.handle("DELETE "+coord.JobsPath+"/{id}", "jobs", false, s.handleJobCancel)
+	s.handle("POST "+coord.BackendsRegisterPath, "backends", false, s.handleBackendRegister)
+	s.handle("GET "+coord.BackendsPath, "backends", false, s.handleBackendList)
 	s.metrics.register("progress")
 	s.mux.HandleFunc("GET /v1/progress", s.handleProgress) // streams; self-instrumented
+	s.metrics.register("jobs_events")
+	s.mux.HandleFunc("GET "+coord.JobsPath+"/{id}/events", s.handleJobEvents) // streams; self-instrumented
 	return s
+}
+
+// Coordinator returns the server's campaign coordinator — the one
+// behind /v1/jobs.  cmd/fx8d uses it to resume interrupted jobs at
+// boot.
+func (s *Server) Coordinator() *coord.Coordinator {
+	return s.coord
+}
+
+// Close stops a coordinator the server built itself (Config without
+// an explicit Coordinator); a caller-supplied coordinator is the
+// caller's to close.
+func (s *Server) Close() {
+	if s.ownCoord {
+		s.coord.Close()
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -213,20 +277,38 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// httpError carries a status code out of a handler.
+// httpError carries an HTTP status and a machine-readable error code
+// (one of remote's Code* constants) out of a handler.
 type httpError struct {
 	status int
+	code   string
 	msg    string
 }
 
 func (e httpError) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) error {
-	return httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+	return httpError{http.StatusBadRequest, remote.CodeInvalidConfig, fmt.Sprintf(format, args...)}
 }
 
 func notFound(format string, args ...any) error {
-	return httpError{http.StatusNotFound, fmt.Sprintf(format, args...)}
+	return httpError{http.StatusNotFound, remote.CodeNotFound, fmt.Sprintf(format, args...)}
+}
+
+func conflict(format string, args ...any) error {
+	return httpError{http.StatusConflict, remote.CodeConflict, fmt.Sprintf(format, args...)}
+}
+
+// writeError emits the unified error envelope every non-2xx response
+// carries: a machine-readable code, the human-readable message, and
+// the request ID already echoed on the response headers — the handle
+// for GET /v1/trace/{id} when correlating the failure with a trace.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, remote.ErrorResponse{
+		Code:      code,
+		Message:   msg,
+		RequestID: w.Header().Get(obs.RequestIDHeader),
+	})
 }
 
 // spanUnits carries the work-unit IDs a handler executed out to the
@@ -310,11 +392,11 @@ func (s *Server) handle(pattern, endpoint string, expensive bool, h func(w http.
 		s.metrics.record(endpoint, time.Since(start), err != nil)
 		if err != nil {
 			outcome = "error"
-			status := http.StatusInternalServerError
+			status, code := http.StatusInternalServerError, remote.CodeInternal
 			if he, ok := err.(httpError); ok {
-				status = he.status
+				status, code = he.status, he.code
 			}
-			writeJSON(w, status, map[string]string{"error": err.Error()})
+			writeError(w, status, code, err.Error())
 		}
 	})
 }
@@ -339,8 +421,8 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) 
 		s.waiting.Add(-1)
 		s.metrics.recordShed(endpoint)
 		w.Header().Set("Retry-After", retryAfterSeconds)
-		writeJSON(w, http.StatusTooManyRequests,
-			map[string]string{"error": "admission queue full; retry later"})
+		writeError(w, http.StatusTooManyRequests, remote.CodeShed,
+			"admission queue full; retry later")
 		return false, "shed"
 	}
 	defer s.waiting.Add(-1)
@@ -361,7 +443,9 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) 
 func writeJSON(w http.ResponseWriter, status int, v any) error {
 	data, err := json.Marshal(v)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		// Even the failure path speaks the envelope; ErrorResponse
+		// itself always marshals, so this cannot recurse.
+		writeError(w, http.StatusInternalServerError, remote.CodeInternal, err.Error())
 		return err
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -536,40 +620,55 @@ type artefactIdentity struct {
 	Config core.StudyConfig
 }
 
-func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) error {
-	scale, cfg, err := scaleParam(r)
-	if err != nil {
-		return err
+// handleArtefact serves GET /v1/artefacts/{kind}/{name}, the single
+// handler behind every rendered artefact.  The historical
+// /v1/tables/{name} and /v1/figures/{name} paths are thin aliases
+// onto it, so the two spellings of one artefact are byte-identical —
+// same body, same ETag.
+func (s *Server) handleArtefact(w http.ResponseWriter, r *http.Request) error {
+	kind := r.PathValue("kind")
+	switch kind {
+	case "table", "tables":
+		kind = "table"
+	case "figure", "figures":
+		kind = "figure"
+	default:
+		return notFound("unknown artefact kind %q (valid kinds: table, figure)", kind)
 	}
-	name := r.PathValue("name")
-	if !experiments.HasTable(name) {
-		return notFound("unknown table %q (valid tables: %v)", name, experiments.Names(experiments.Tables()))
-	}
-	id := artefactIdentity{Kind: "table", Name: strings.ToLower(name), Config: cfg}
-	if maybeNotModified(w, r, etagFor(artefactETagNamespace, id)) {
-		return nil
-	}
-	st := s.cache.Get(cfg, s.cfg.Workers)
-	text, _ := experiments.RenderTable(name, st)
-	return writeJSON(w, http.StatusOK, ArtefactResponse{Kind: "table", Name: name, Scale: scale, Text: text})
+	return s.renderArtefact(w, r, kind, r.PathValue("name"))
 }
 
-func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) error {
+func (s *Server) handleTableAlias(w http.ResponseWriter, r *http.Request) error {
+	return s.renderArtefact(w, r, "table", r.PathValue("name"))
+}
+
+func (s *Server) handleFigureAlias(w http.ResponseWriter, r *http.Request) error {
+	return s.renderArtefact(w, r, "figure", r.PathValue("name"))
+}
+
+// renderArtefact is the shared artefact pipeline: validate the name
+// against kind's catalogue, answer 304 off the ETag when possible,
+// otherwise render from the cached study.  kind is "table" or
+// "figure" (already normalized).
+func (s *Server) renderArtefact(w http.ResponseWriter, r *http.Request, kind, name string) error {
 	scale, cfg, err := scaleParam(r)
 	if err != nil {
 		return err
 	}
-	name := r.PathValue("name")
-	if !experiments.HasFigure(name) {
-		return notFound("unknown figure %q (valid figures: %v)", name, experiments.Names(experiments.Figures()))
+	has, render, catalogue := experiments.HasTable, experiments.RenderTable, experiments.Tables
+	if kind == "figure" {
+		has, render, catalogue = experiments.HasFigure, experiments.RenderFigure, experiments.Figures
 	}
-	id := artefactIdentity{Kind: "figure", Name: strings.ToLower(name), Config: cfg}
+	if !has(name) {
+		return notFound("unknown %s %q (valid %ss: %v)", kind, name, kind, experiments.Names(catalogue()))
+	}
+	id := artefactIdentity{Kind: kind, Name: strings.ToLower(name), Config: cfg}
 	if maybeNotModified(w, r, etagFor(artefactETagNamespace, id)) {
 		return nil
 	}
 	st := s.cache.Get(cfg, s.cfg.Workers)
-	text, _ := experiments.RenderFigure(name, st)
-	return writeJSON(w, http.StatusOK, ArtefactResponse{Kind: "figure", Name: name, Scale: scale, Text: text})
+	text, _ := render(name, st)
+	return writeJSON(w, http.StatusOK, ArtefactResponse{Kind: kind, Name: name, Scale: scale, Text: text})
 }
 
 // SweepResponse is the /v1/sweep body.
@@ -687,13 +786,11 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) error {
 
 // Unit-execution endpoints: the serving side of internal/remote.
 
-// Unit namespaces version the stored encoding of per-unit results;
-// they are distinct from the whole-campaign and whole-sweep
-// namespaces so a sharded unit and a local artefact never collide.
-const (
-	sessionUnitNamespace = "unit-session/v1"
-	sweepUnitNamespace   = "unit-sweep/v1"
-)
+// Unit results are cached under the shared namespaces in
+// internal/coord (SessionUnitNamespace, SweepUnitNamespace): the
+// fleet coordinator replays exactly the entries these endpoints
+// write, which is what makes a job's checkpoint nothing more than the
+// unit cache filling up.
 
 // maxUnitBody bounds a /v1/run request body; work units are small
 // configuration records.
@@ -724,7 +821,7 @@ func (s *Server) handleRunSession(w http.ResponseWriter, r *http.Request) error 
 	if su := spanUnitsFrom(r.Context()); su != nil {
 		su.ids = append(su.ids, unit.ID)
 	}
-	res, err := store.GetOrComputeJSON(s.cache.Store(), sessionUnitNamespace, unit, func() (core.StudyUnitResult, error) {
+	res, err := store.GetOrComputeJSON(s.cache.Store(), coord.SessionUnitNamespace, unit, func() (core.StudyUnitResult, error) {
 		return core.RunStudyUnit(unit)
 	})
 	if err != nil {
@@ -766,7 +863,7 @@ func (s *Server) handleRunSessionBatch(w http.ResponseWriter, r *http.Request) e
 	}
 	runner := engine.Local[core.StudyUnit, core.StudyUnitResult]{
 		Fn: func(u core.StudyUnit) (core.StudyUnitResult, error) {
-			return store.GetOrComputeJSON(s.cache.Store(), sessionUnitNamespace, u, func() (core.StudyUnitResult, error) {
+			return store.GetOrComputeJSON(s.cache.Store(), coord.SessionUnitNamespace, u, func() (core.StudyUnitResult, error) {
 				return core.RunStudyUnit(u)
 			})
 		},
@@ -786,7 +883,7 @@ func (s *Server) handleRunSweep(w http.ResponseWriter, r *http.Request) error {
 	if experiments.DefaultSweepValues(unit.Kind) == nil {
 		return badRequest("unknown sweep kind %q", unit.Kind)
 	}
-	res, err := store.GetOrComputeJSON(s.cache.Store(), sweepUnitNamespace, unit, func() (experiments.SweepPoint, error) {
+	res, err := store.GetOrComputeJSON(s.cache.Store(), coord.SweepUnitNamespace, unit, func() (experiments.SweepPoint, error) {
 		return experiments.RunSweepUnit(unit)
 	})
 	if err != nil {

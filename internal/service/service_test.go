@@ -28,7 +28,9 @@ func newTestServer(t *testing.T, dir string) *Server {
 		}
 		cache.SetStore(s)
 	}
-	return New(Config{Cache: cache, Workers: 0, MaxInFlight: 8})
+	srv := New(Config{Cache: cache, Workers: 0, MaxInFlight: 8})
+	t.Cleanup(srv.Close)
+	return srv
 }
 
 func get(t *testing.T, srv *Server, path string) (int, []byte) {

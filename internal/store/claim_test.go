@@ -1,0 +1,102 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestClaimExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	// Two independent Store handles on the same directory model two
+	// processes (coordinators) racing on the same lease key.
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const claimants = 16
+	key, err := Key("job-lease/v1", "job-abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg   sync.WaitGroup
+		wins sync.Map
+		won  int
+	)
+	for i := 0; i < claimants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := s1
+			if i%2 == 1 {
+				s = s2
+			}
+			ok, err := s.Claim(key, []byte(fmt.Sprintf("owner-%d", i)))
+			if err != nil {
+				t.Errorf("Claim: %v", err)
+				return
+			}
+			if ok {
+				wins.Store(i, true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	wins.Range(func(_, _ any) bool { won++; return true })
+	if won != 1 {
+		t.Fatalf("%d claimants won, want exactly 1", won)
+	}
+
+	// The surviving entry is the winner's payload and reads back intact.
+	data, ok := s1.Get(key)
+	if !ok {
+		t.Fatal("Get after Claim: miss")
+	}
+	var winner int
+	wins.Range(func(k, _ any) bool { winner = k.(int); return false })
+	if want := fmt.Sprintf("owner-%d", winner); string(data) != want {
+		t.Fatalf("claimed payload = %q, want %q", data, want)
+	}
+}
+
+func TestClaimAfterDeleteSucceeds(t *testing.T) {
+	s := open(t)
+	key, _ := Key("job-lease/v1", "job-x")
+	if ok, err := s.Claim(key, []byte("a")); err != nil || !ok {
+		t.Fatalf("first Claim = %v, %v; want win", ok, err)
+	}
+	if ok, err := s.Claim(key, []byte("b")); err != nil || ok {
+		t.Fatalf("second Claim = %v, %v; want loss without error", ok, err)
+	}
+	if err := s.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s.Claim(key, []byte("c")); err != nil || !ok {
+		t.Fatalf("Claim after Delete = %v, %v; want win", ok, err)
+	}
+	data, ok := s.Get(key)
+	if !ok || string(data) != "c" {
+		t.Fatalf("Get = %q, %v; want \"c\" (re-claimed payload)", data, ok)
+	}
+}
+
+func TestDeleteMissingIsNoError(t *testing.T) {
+	s := open(t)
+	key, _ := Key("job-lease/v1", "never-claimed")
+	if err := s.Delete(key); err != nil {
+		t.Fatalf("Delete of missing entry: %v", err)
+	}
+}
+
+func TestClaimJSONNilStore(t *testing.T) {
+	won, err := ClaimJSON[string](nil, "anykey", "v")
+	if err != nil || !won {
+		t.Fatalf("ClaimJSON(nil store) = %v, %v; want win, nil", won, err)
+	}
+}

@@ -237,6 +237,47 @@ func (s *Store) Put(key string, data []byte) error {
 	return s.enforceBound()
 }
 
+// Claim stores data under key only if no entry exists there,
+// reporting whether this caller won.  Unlike Put's last-writer-wins
+// rename, Claim publishes with a hard link, which fails when the
+// target exists — so of any number of processes claiming the same key
+// concurrently, exactly one succeeds.  The entry is fully written
+// before it is linked into place, so a reader never observes a
+// partial claim.  This is the store's mutual-exclusion primitive:
+// the coordinator leases job ownership by claiming a lease key and
+// Delete-ing it on release.
+func (s *Store) Claim(key string, data []byte) (won bool, err error) {
+	tmp, err := os.CreateTemp(s.dir, ".claim-*")
+	if err != nil {
+		return false, fmt.Errorf("store: creating temp claim: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(encodeEntry(data)); err != nil {
+		tmp.Close()
+		return false, fmt.Errorf("store: writing claim: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return false, fmt.Errorf("store: closing claim: %w", err)
+	}
+	if err := os.Link(tmp.Name(), s.path(key)); err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return false, nil
+		}
+		return false, fmt.Errorf("store: publishing claim: %w", err)
+	}
+	s.writes.Add(1)
+	return true, s.enforceBound()
+}
+
+// Delete removes the entry under key.  A missing entry is not an
+// error; any other failure is reported.
+func (s *Store) Delete(key string) error {
+	if err := os.Remove(s.path(key)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: deleting entry: %w", err)
+	}
+	return nil
+}
+
 // enforceBound evicts oldest-first until the store fits maxBytes.
 func (s *Store) enforceBound() error {
 	if s.maxBytes <= 0 {
@@ -363,6 +404,20 @@ func PutJSON[T any](s *Store, key string, v T) error {
 		return fmt.Errorf("store: encoding entry: %w", err)
 	}
 	return s.Put(key, data)
+}
+
+// ClaimJSON encodes v and claims key with it, reporting whether this
+// caller won the claim.  A nil store reports a win without persisting
+// anything, so single-process callers need no branching.
+func ClaimJSON[T any](s *Store, key string, v T) (bool, error) {
+	if s == nil {
+		return true, nil
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return false, fmt.Errorf("store: encoding claim: %w", err)
+	}
+	return s.Claim(key, data)
 }
 
 // GetOrComputeJSON returns the artefact for (namespace, cfg) through
