@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench bench-coord bench-load profile ci
+.PHONY: all build fmt vet lint test race chaos bench bench-coord bench-load profile ci
 
 all: build
 
@@ -37,6 +37,15 @@ test:
 # detector; the engine's fan-out paths are all exercised regardless.
 race:
 	$(GO) test -race -short ./...
+
+# chaos runs the seeded fault-injection suite (see internal/chaos and
+# the "Fault tolerance & chaos testing" README section) under the
+# race detector — the same invocation as CI's chaos job.  Reproduce a
+# nightly failure by exporting its uploaded seeds first:
+#
+#   CHAOS_SEEDS=12345,67890 make chaos
+chaos:
+	$(GO) test -race -count=1 -run TestChaos ./internal/integration
 
 # bench runs one benchmark set per layer of the stack and records
 # each as a parsed result set in BENCH_<layer>.json through

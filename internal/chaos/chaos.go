@@ -1,0 +1,293 @@
+// Package chaos is the repo's deterministic fault injector.  A Plan
+// is a pure function of a seed: given a fault Budget (per-mille rates
+// per fault kind), Decide(class, key, seq) answers "does the seq-th
+// operation on key suffer a fault, and which" — the same seed always
+// yields the same schedule, so a chaos campaign that fails in CI is
+// reproduced locally by its seed alone.
+//
+// Faults are injected at the stack's three seams:
+//
+//   - network: Transport wraps an http.RoundTripper (see
+//     transport.go) — connection refused, injected latency, mid-body
+//     disconnect, synthesized 5xx, corrupted and truncated bodies;
+//   - disk: FS wraps a store.FS (see fs.go) — write errors, short
+//     writes, bit-flip corruption, eviction under a reader;
+//   - process: KillPoint draws the deterministic unit count at which
+//     a test kills a backend or coordinator.
+//
+// Keys are chosen by the wrappers to be stable across runs (request
+// method+path+body hash, entry base names — never ports or temp
+// suffixes), so per-key fault sequences do not depend on goroutine
+// interleaving.  Every injected fault is booked in an event log
+// (Events) whose sorted form is a schedule fingerprint comparable
+// across runs and attachable to a CI failure artifact.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fastrand"
+)
+
+// Class partitions fault schedules by the seam they strike.  Each
+// (class, key) pair draws an independent deterministic sequence.
+type Class string
+
+const (
+	ClassNet  Class = "net"
+	ClassDisk Class = "disk"
+	ClassProc Class = "proc"
+)
+
+// Kind names one fault.  The zero Kind means "no fault".
+type Kind string
+
+const (
+	// Network faults, injected by Transport.
+	KindRefused    Kind = "refused"    // dial-level failure before any bytes
+	KindLatency    Kind = "latency"    // delivery delayed by Fault.Latency
+	KindDisconnect Kind = "disconnect" // connection dies mid response body
+	KindErr5xx     Kind = "err5xx"     // synthesized 500, backend never reached
+	KindCorrupt    Kind = "corrupt"    // one response byte smashed
+	KindTruncate   Kind = "truncate"   // response body cut short
+
+	// Disk faults, injected by FS.
+	KindWriteErr   Kind = "write_err"   // entry write fails outright
+	KindShortWrite Kind = "short_write" // entry lands truncated on disk
+	KindBitFlip    Kind = "bit_flip"    // one stored byte flipped
+	KindEvict      Kind = "evict"       // entry vanishes under its reader
+
+	// Process faults, scheduled by KillPoint.
+	KindKill Kind = "kill"
+)
+
+// Fault is one scheduled injection.  The zero value is "no fault".
+type Fault struct {
+	Kind Kind
+
+	// Latency is the injected delay for KindLatency, zero otherwise.
+	Latency time.Duration
+}
+
+// None reports whether no fault was scheduled.
+func (f Fault) None() bool { return f.Kind == "" }
+
+// Budget declares a plan's fault rates, in per-mille of operations
+// per (class, key) draw.  Network and disk rates are independent;
+// rates within a class are additive and must sum to at most 1000.
+// The zero Budget injects nothing.
+type Budget struct {
+	// Network rates (per mille of RoundTrips).
+	Refused    int
+	Latency    int
+	Disconnect int
+	Err5xx     int
+	Corrupt    int
+	Truncate   int
+
+	// MaxLatency bounds one injected delay; 0 means 20ms.  Keep it
+	// well under the client's per-attempt timeout or latency faults
+	// escalate into timeouts.
+	MaxLatency time.Duration
+
+	// Disk rates (per mille of entry writes / reads).
+	WriteErr   int
+	ShortWrite int
+	BitFlip    int
+	Evict      int
+}
+
+// Event is one injected fault: the seq-th operation on key under
+// class suffered kind.  Sorted event logs are the plan's schedule
+// fingerprint.
+type Event struct {
+	Class Class  `json:"class"`
+	Key   string `json:"key"`
+	Seq   uint64 `json:"seq"`
+	Kind  Kind   `json:"kind"`
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s %s #%d %s", e.Class, e.Key, e.Seq, e.Kind)
+}
+
+// FaultError is the typed error every unabsorbable injected fault
+// surfaces as: test assertions match it with errors.As, never by
+// string.  An injected fault escaping as anything else — or worse, as
+// a wrong answer — is a chaos-suite failure.
+type FaultError struct {
+	Class Class
+	Kind  Kind
+	Key   string
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("chaos: injected %s/%s fault on %s", e.Class, e.Kind, e.Key)
+}
+
+// Plan is one seeded fault schedule.  The schedule is a pure function
+// of (seed, budget): Decide answers any (class, key, seq) without
+// state, and the stateful wrappers (Transport, FS) only track how
+// many operations each key has seen.  Safe for concurrent use.
+type Plan struct {
+	seed   uint64
+	budget Budget
+
+	mu     sync.Mutex
+	seq    map[string]uint64
+	events []Event
+}
+
+// NewPlan builds the fault schedule for seed under budget.
+func NewPlan(seed uint64, budget Budget) *Plan {
+	return &Plan{seed: seed, budget: budget, seq: make(map[string]uint64)}
+}
+
+// Seed returns the plan's seed — quote it in failure artifacts; it is
+// the whole reproduction recipe.
+func (p *Plan) Seed() uint64 { return p.seed }
+
+// Decide is the schedule itself: the fault (or none) striking the
+// seq-th operation on key under class.  Pure — no Plan state is read
+// or written — so a recorded event log can be replayed against Decide
+// to prove the schedule is a function of the seed.  Seq counts from 1.
+func (p *Plan) Decide(class Class, key string, seq uint64) Fault {
+	rng := fastrand.New(mixSeed(p.seed, class, key), seq)
+	draw := rng.IntN(1000)
+	acc := 0
+	pick := func(kind Kind, rate int) bool {
+		acc += rate
+		return draw < acc
+	}
+	switch class {
+	case ClassNet:
+		b := p.budget
+		switch {
+		case pick(KindRefused, b.Refused):
+			return Fault{Kind: KindRefused}
+		case pick(KindDisconnect, b.Disconnect):
+			return Fault{Kind: KindDisconnect}
+		case pick(KindErr5xx, b.Err5xx):
+			return Fault{Kind: KindErr5xx}
+		case pick(KindCorrupt, b.Corrupt):
+			return Fault{Kind: KindCorrupt}
+		case pick(KindTruncate, b.Truncate):
+			return Fault{Kind: KindTruncate}
+		case pick(KindLatency, b.Latency):
+			maxMs := int(p.budget.MaxLatency / time.Millisecond) //fxlint:allow truncation — a test budget's delay bound, clamped small
+			if maxMs <= 0 {
+				maxMs = 20
+			}
+			return Fault{Kind: KindLatency, Latency: time.Duration(1+rng.IntN(maxMs)) * time.Millisecond}
+		}
+	case ClassDisk:
+		b := p.budget
+		switch {
+		case pick(KindWriteErr, b.WriteErr):
+			return Fault{Kind: KindWriteErr}
+		case pick(KindShortWrite, b.ShortWrite):
+			return Fault{Kind: KindShortWrite}
+		case pick(KindBitFlip, b.BitFlip):
+			return Fault{Kind: KindBitFlip}
+		case pick(KindEvict, b.Evict):
+			return Fault{Kind: KindEvict}
+		}
+	}
+	return Fault{}
+}
+
+// next books key's next operation under class: bumps the per-key
+// sequence, consults Decide, and logs any fault drawn.  This is the
+// only stateful step between a seed and its injected faults.
+func (p *Plan) next(class Class, key string) Fault {
+	p.mu.Lock()
+	sk := string(class) + "|" + key
+	p.seq[sk]++
+	seq := p.seq[sk]
+	p.mu.Unlock()
+	f := p.Decide(class, key, seq)
+	if !f.None() {
+		p.record(Event{Class: class, Key: key, Seq: seq, Kind: f.Kind})
+	}
+	return f
+}
+
+func (p *Plan) record(e Event) {
+	p.mu.Lock()
+	p.events = append(p.events, e)
+	p.mu.Unlock()
+}
+
+// KillPoint draws the operation count at which the named process dies
+// — deterministic in [1, max] — and books it as a proc/kill event.
+// Tests use it to schedule backend deaths and coordinator kills from
+// the same seed that drives the network and disk faults.
+func (p *Plan) KillPoint(name string, max int) int {
+	rng := fastrand.New(mixSeed(p.seed, ClassProc, name), 0)
+	n := 1 + rng.IntN(max)
+	p.record(Event{Class: ClassProc, Key: name, Seq: uint64(n), Kind: KindKill})
+	return n
+}
+
+// Events returns the injected-fault log sorted by (class, key, seq) —
+// a canonical fingerprint independent of goroutine interleaving.  Two
+// runs of the same campaign under the same seed produce equal logs
+// whenever each key sees a deterministic operation count.
+func (p *Plan) Events() []Event {
+	p.mu.Lock()
+	out := append([]Event(nil), p.events...)
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// FNV-1a, the repo's standard cheap mixer (store keys use it too).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// mixSeed folds the plan seed, class and key into one 64-bit
+// generator seed via FNV-1a.  Writing the seed byte-wise keeps the
+// mix identical on every platform.
+func mixSeed(seed uint64, class Class, key string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < 8; i++ {
+		h ^= (seed >> (8 * i)) & 0xff
+		h *= fnvPrime
+	}
+	for i := 0; i < len(class); i++ {
+		h ^= uint64(class[i])
+		h *= fnvPrime
+	}
+	h ^= 0xff // separator: ("ab","c") must not collide with ("a","bc")
+	h *= fnvPrime
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// hashBytes is FNV-1a over raw bytes, used by the wrappers to fold
+// payloads into stable keys and positions.
+func hashBytes(data []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return h
+}

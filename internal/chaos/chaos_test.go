@@ -1,0 +1,255 @@
+package chaos
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// allFaults is a budget dense enough that a few hundred draws hit
+// every kind.
+var allFaults = Budget{
+	Refused: 100, Latency: 100, Disconnect: 100, Err5xx: 100, Corrupt: 100, Truncate: 100,
+	MaxLatency: 5 * time.Millisecond,
+	WriteErr:   150, ShortWrite: 150, BitFlip: 150, Evict: 150,
+}
+
+func TestDecideIsPureAndSeedDeterministic(t *testing.T) {
+	t.Parallel()
+	a, b := NewPlan(42, allFaults), NewPlan(42, allFaults)
+	diffSeed := NewPlan(43, allFaults)
+	var differs bool
+	for seq := uint64(1); seq <= 200; seq++ {
+		for _, class := range []Class{ClassNet, ClassDisk} {
+			for _, key := range []string{"POST /v1/run/session#abc", "deadbeef.fx8s"} {
+				fa, fb := a.Decide(class, key, seq), b.Decide(class, key, seq)
+				if fa != fb {
+					t.Fatalf("Decide(%s,%s,%d) not deterministic: %+v vs %+v", class, key, seq, fa, fb)
+				}
+				if fa != diffSeed.Decide(class, key, seq) {
+					differs = true
+				}
+			}
+		}
+	}
+	if !differs {
+		t.Error("seeds 42 and 43 drew identical 800-fault schedules")
+	}
+}
+
+func TestDecideHonorsZeroBudget(t *testing.T) {
+	t.Parallel()
+	p := NewPlan(7, Budget{})
+	for seq := uint64(1); seq <= 500; seq++ {
+		if f := p.Decide(ClassNet, "k", seq); !f.None() {
+			t.Fatalf("zero budget injected %+v at seq %d", f, seq)
+		}
+	}
+}
+
+func TestDecideHitsEveryBudgetedKind(t *testing.T) {
+	t.Parallel()
+	p := NewPlan(11, allFaults)
+	seen := map[Kind]bool{}
+	for seq := uint64(1); seq <= 2000; seq++ {
+		seen[p.Decide(ClassNet, "k", seq).Kind] = true
+		seen[p.Decide(ClassDisk, "k", seq).Kind] = true
+	}
+	for _, k := range []Kind{KindRefused, KindLatency, KindDisconnect, KindErr5xx,
+		KindCorrupt, KindTruncate, KindWriteErr, KindShortWrite, KindBitFlip, KindEvict} {
+		if !seen[k] {
+			t.Errorf("2000 draws under a dense budget never hit %s", k)
+		}
+	}
+}
+
+// The event log must replay through Decide: every booked fault is
+// exactly what the pure schedule says for that (class, key, seq).
+// This is the property that makes a logged CI failure reproducible
+// from its seed.
+func TestEventsReplayThroughDecide(t *testing.T) {
+	t.Parallel()
+	p := NewPlan(99, allFaults)
+	for i := 0; i < 300; i++ {
+		p.next(ClassNet, "a")
+		p.next(ClassNet, "b")
+		p.next(ClassDisk, "c.fx8s")
+	}
+	events := p.Events()
+	if len(events) == 0 {
+		t.Fatal("dense budget injected nothing over 900 operations")
+	}
+	for _, e := range events {
+		if got := p.Decide(e.Class, e.Key, e.Seq).Kind; got != e.Kind {
+			t.Errorf("event %v does not replay: Decide says %s", e, got)
+		}
+	}
+	// And the sorted log is run-independent: a fresh plan driven the
+	// same way produces the identical fingerprint.
+	q := NewPlan(99, allFaults)
+	for i := 0; i < 300; i++ {
+		q.next(ClassNet, "a")
+		q.next(ClassNet, "b")
+		q.next(ClassDisk, "c.fx8s")
+	}
+	a, b := p.Events(), q.Events()
+	if len(a) != len(b) {
+		t.Fatalf("event logs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event logs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestKillPointDeterministicAndInRange(t *testing.T) {
+	t.Parallel()
+	p, q := NewPlan(5, Budget{}), NewPlan(5, Budget{})
+	for _, max := range []int{1, 2, 8, 100} {
+		a, b := p.KillPoint("backend-0", max), q.KillPoint("backend-0", max)
+		if a != b {
+			t.Errorf("KillPoint(max=%d) not deterministic: %d vs %d", max, a, b)
+		}
+		if a < 1 || a > max {
+			t.Errorf("KillPoint(max=%d) = %d, out of range", max, a)
+		}
+	}
+	if NewPlan(5, Budget{}).KillPoint("backend-1", 100) == NewPlan(5, Budget{}).KillPoint("backend-0", 100) {
+		// Not impossible, but with max=100 a collision is 1%; the
+		// names must feed the draw.
+		t.Log("kill points for distinct names collided (possible but unlikely)")
+	}
+}
+
+// transportFor drives one fault kind through a Transport against a
+// live server and returns the outcome of a full request/read cycle.
+func transportFor(t *testing.T, b Budget, seed uint64) (*Plan, *http.Client, *httptest.Server) {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"answer":42,"pad":"xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"}`))
+	}))
+	t.Cleanup(srv.Close)
+	p := NewPlan(seed, b)
+	return p, &http.Client{Transport: p.Transport(nil)}, srv
+}
+
+func TestTransportRefusedSurfacesTypedError(t *testing.T) {
+	t.Parallel()
+	p, client, srv := transportFor(t, Budget{Refused: 1000}, 1)
+	_, err := client.Get(srv.URL + "/v1/ping")
+	if err == nil {
+		t.Fatal("refused fault let the request through")
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Kind != KindRefused {
+		t.Fatalf("want *FaultError{refused}, got %v", err)
+	}
+	if ev := p.Events(); len(ev) != 1 || ev[0].Kind != KindRefused {
+		t.Fatalf("event log %v, want one refused", ev)
+	}
+}
+
+func TestTransportErr5xxSynthesizesEnvelope(t *testing.T) {
+	t.Parallel()
+	_, client, srv := transportFor(t, Budget{Err5xx: 1000}, 1)
+	resp, err := client.Get(srv.URL + "/v1/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `"code":"internal"`) {
+		t.Fatalf("synthesized body %q lacks the error envelope", body)
+	}
+}
+
+func TestTransportDisconnectDiesMidBody(t *testing.T) {
+	t.Parallel()
+	_, client, srv := transportFor(t, Budget{Disconnect: 1000}, 1)
+	resp, err := client.Get(srv.URL + "/v1/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, err = io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("mid-body read error %v, want io.ErrUnexpectedEOF", err)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Kind != KindDisconnect {
+		t.Fatalf("disconnect not typed: %v", err)
+	}
+}
+
+func TestTransportCorruptAndTruncateBreakJSONDetectably(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		name string
+		b    Budget
+	}{
+		{"corrupt", Budget{Corrupt: 1000}},
+		{"truncate", Budget{Truncate: 1000}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			_, client, srv := transportFor(t, tc.b, 1)
+			resp, err := client.Get(srv.URL + "/v1/ping")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out struct {
+				Answer int `json:"answer"`
+			}
+			if jsonErr := json.Unmarshal(body, &out); jsonErr == nil {
+				t.Fatalf("%s body still decodes (%q) — the fault is silently absorbable", tc.name, body)
+			}
+		})
+	}
+}
+
+func TestTransportLatencyDelaysIntactResponse(t *testing.T) {
+	t.Parallel()
+	_, client, srv := transportFor(t, Budget{Latency: 1000, MaxLatency: 30 * time.Millisecond}, 3)
+	start := time.Now()
+	resp, err := client.Get(srv.URL + "/v1/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Errorf("latency fault added no delay (%v)", elapsed)
+	}
+	if !strings.Contains(string(body), `"answer":42`) {
+		t.Errorf("latency fault damaged the body: %q", body)
+	}
+}
+
+func TestTransportKeyIgnoresHost(t *testing.T) {
+	t.Parallel()
+	p := NewPlan(1, Budget{})
+	r1, _ := http.NewRequest(http.MethodPost, "http://127.0.0.1:1111/v1/run/session", strings.NewReader(`{"id":1}`))
+	r2, _ := http.NewRequest(http.MethodPost, "http://127.0.0.1:2222/v1/run/session", strings.NewReader(`{"id":1}`))
+	if k1, k2 := requestKey(r1), requestKey(r2); k1 != k2 {
+		t.Errorf("same unit on different ports keys differently: %q vs %q", k1, k2)
+	}
+	r3, _ := http.NewRequest(http.MethodPost, "http://127.0.0.1:1111/v1/run/session", strings.NewReader(`{"id":2}`))
+	if requestKey(r1) == requestKey(r3) {
+		t.Error("different payloads share one key; their fault schedules would be entangled")
+	}
+	_ = p
+}

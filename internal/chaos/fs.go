@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"path/filepath"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// faultFS injects the plan's disk faults around a store.FS.  Faults
+// are keyed by the base name of the *entry* being written or read —
+// the store's content-addressed file name, stable across runs — never
+// by temp-file names, whose random suffixes would make the schedule
+// depend on creation order.  Internal names (dot-prefixed temps and
+// probes) pass through untouched, so a faulted store still opens.
+//
+// Write faults are applied at the publish step (Rename), where the
+// entry's identity is first known:
+//
+//	write_err    the publish fails with a *FaultError; the caller's
+//	             temp-file cleanup runs exactly as for a real error
+//	short_write  the entry lands truncated; the store's read-side
+//	             checksum rejects it as corrupt and recomputes
+//	bit_flip     one stored byte is flipped; rejected the same way
+//	evict        (read side) the entry vanishes under its reader —
+//	             the read fails and the file is gone, as if the
+//	             size bound evicted it mid-access
+//
+// Claim's hard-link publish is deliberately not faulted: leases are
+// exercised by write faults on their refresh (Put) path, and a Claim
+// that failed non-atomically could wedge both contenders — a bug this
+// layer must not be able to inject.
+type faultFS struct {
+	store.FS
+	plan *Plan
+}
+
+// FS wraps base (nil means store.OS()) with the plan's disk-fault
+// schedule.
+func (p *Plan) FS(base store.FS) store.FS {
+	if base == nil {
+		base = store.OS()
+	}
+	return &faultFS{FS: base, plan: p}
+}
+
+// internalName reports store-internal files — write temps and the
+// open-time writability probe — which are never fault targets.
+func internalName(base string) bool { return strings.HasPrefix(base, ".") }
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	base := filepath.Base(newpath)
+	if internalName(base) {
+		return f.FS.Rename(oldpath, newpath)
+	}
+	switch fault := f.plan.next(ClassDisk, base); fault.Kind {
+	case KindWriteErr:
+		return &FaultError{Class: ClassDisk, Kind: KindWriteErr, Key: base}
+	case KindShortWrite:
+		if err := f.mutate(oldpath, base, true); err != nil {
+			return err
+		}
+	case KindBitFlip:
+		if err := f.mutate(oldpath, base, false); err != nil {
+			return err
+		}
+	}
+	return f.FS.Rename(oldpath, newpath)
+}
+
+func (f *faultFS) ReadFile(name string) ([]byte, error) {
+	base := filepath.Base(name)
+	if internalName(base) {
+		return f.FS.ReadFile(name)
+	}
+	if fault := f.plan.next(ClassDisk, base); fault.Kind == KindEvict {
+		f.FS.Remove(name)
+		return nil, &FaultError{Class: ClassDisk, Kind: KindEvict, Key: base}
+	}
+	return f.FS.ReadFile(name)
+}
+
+// mutate rewrites the temp at path with damaged content — truncated
+// to half, or with one deterministically-chosen byte flipped — via a
+// sibling temp so the damage is atomic like the write it models.
+func (f *faultFS) mutate(path, key string, truncate bool) error {
+	data, err := f.FS.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if truncate {
+		data = data[:len(data)/2]
+	} else if len(data) > 0 {
+		data[hashBytes([]byte(key))%uint64(len(data))] ^= 0x40
+	}
+	tmp, err := f.FS.CreateTemp(filepath.Dir(path), ".chaos-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		f.FS.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		f.FS.Remove(tmp.Name())
+		return err
+	}
+	return f.FS.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,142 @@
+package chaos_test
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/store"
+)
+
+// openFaulted opens a store whose disk operations run under the
+// plan's schedule.  Opening itself must survive any budget: the
+// writability probe is store-internal and never a fault target.
+func openFaulted(t *testing.T, seed uint64, b chaos.Budget) (*chaos.Plan, *store.Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	p := chaos.NewPlan(seed, b)
+	s, err := store.Open(dir, store.WithFS(p.FS(nil)))
+	if err != nil {
+		t.Fatalf("faulted store failed to open: %v", err)
+	}
+	return p, s, dir
+}
+
+func strayFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stray []string
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".fx8s") {
+			stray = append(stray, e.Name())
+		}
+	}
+	return stray
+}
+
+func TestFSWriteErrFailsPutTyped(t *testing.T) {
+	t.Parallel()
+	_, s, dir := openFaulted(t, 1, chaos.Budget{WriteErr: 1000})
+	key, err := store.Key("ns", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	putErr := s.Put(key, []byte("payload"))
+	if putErr == nil {
+		t.Fatal("write_err fault let the Put succeed")
+	}
+	var fe *chaos.FaultError
+	if !errors.As(putErr, &fe) || fe.Kind != chaos.KindWriteErr {
+		t.Fatalf("want typed *FaultError{write_err}, got %v", putErr)
+	}
+	if stray := strayFiles(t, dir); len(stray) != 0 {
+		t.Errorf("failed Put littered the store: %v", stray)
+	}
+	if s.Has(key) {
+		t.Error("entry exists after a failed publish")
+	}
+}
+
+func TestFSShortWriteAndBitFlipReadAsCorruptMiss(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		name string
+		b    chaos.Budget
+	}{
+		{"short_write", chaos.Budget{ShortWrite: 1000}},
+		{"bit_flip", chaos.Budget{BitFlip: 1000}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			_, s, _ := openFaulted(t, 2, tc.b)
+			key, err := store.Key("ns", tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(key, []byte("a payload long enough to damage")); err != nil {
+				t.Fatalf("%s must land the entry, damaged: %v", tc.name, err)
+			}
+			if _, ok := s.Get(key); ok {
+				t.Fatalf("%s entry served intact; the checksum did not catch it", tc.name)
+			}
+			if got := s.Stats().Corrupt; got != 1 {
+				t.Errorf("Corrupt = %d, want 1", got)
+			}
+		})
+	}
+}
+
+func TestFSEvictUnderReaderIsAMissAndRemoves(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	clean, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := store.Key("ns", "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	p := chaos.NewPlan(3, chaos.Budget{Evict: 1000})
+	s, err := store.Open(dir, store.WithFS(p.FS(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("evict-under-reader served the entry")
+	}
+	if clean.Has(key) {
+		t.Error("evicted entry still on disk")
+	}
+	ev := p.Events()
+	if len(ev) == 0 || ev[0].Kind != chaos.KindEvict {
+		t.Errorf("event log %v, want an evict", ev)
+	}
+}
+
+// A zero-budget chaos FS must be a no-op shim: every store operation
+// behaves exactly as on the real filesystem.
+func TestFSZeroBudgetIsTransparent(t *testing.T) {
+	t.Parallel()
+	_, s, _ := openFaulted(t, 4, chaos.Budget{})
+	key, err := store.Key("ns", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := s.Get(key)
+	if !ok || string(data) != "payload" {
+		t.Fatalf("round trip through zero-budget FS: %q, %v", data, ok)
+	}
+}

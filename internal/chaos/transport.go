@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Transport injects the plan's network faults around an
+// http.RoundTripper.  Requests are keyed by method, path and body
+// hash — never by host or port, which differ between runs when
+// backends listen on ephemeral ports — so the seq-th request carrying
+// a given unit draws the same fault in every run.
+//
+// Injections and what a correct client must do with them:
+//
+//	refused     RoundTrip fails before any bytes move (*FaultError)
+//	latency     the response is delayed, then delivered intact
+//	err5xx      a synthesized 500 carrying the service error envelope
+//	disconnect  the body dies mid-read with io.ErrUnexpectedEOF
+//	corrupt     one body byte is smashed to NUL, breaking the JSON
+//	truncate    the body is cut short, breaking the JSON
+//
+// Corruption smashes a byte to NUL rather than flipping a bit: the
+// wire format is JSON, so a NUL is guaranteed-detectable, whereas a
+// bit flip inside a numeric literal could decode cleanly and the
+// chaos suite's whole point is that faults are never silently wrong
+// answers.
+type Transport struct {
+	plan *Plan
+	base http.RoundTripper
+}
+
+// Transport wraps base (nil means http.DefaultTransport) with the
+// plan's network-fault schedule.
+func (p *Plan) Transport(base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{plan: p, base: base}
+}
+
+// requestKey is the request's schedule identity: method, path, and
+// the FNV-1a hash of the body when one is replayable via GetBody
+// (true for every bytes.Reader-backed request the clients build).
+func requestKey(req *http.Request) string {
+	key := req.Method + " " + req.URL.Path
+	if req.GetBody != nil {
+		if body, err := req.GetBody(); err == nil {
+			data, err := io.ReadAll(body)
+			body.Close()
+			if err == nil {
+				key += "#" + strconv.FormatUint(hashBytes(data), 16)
+			}
+		}
+	}
+	return key
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	key := requestKey(req)
+	f := t.plan.next(ClassNet, key)
+	switch f.Kind {
+	case KindRefused:
+		return nil, &FaultError{Class: ClassNet, Kind: KindRefused, Key: key}
+	case KindErr5xx:
+		body := `{"code":"internal","message":"chaos: injected err5xx"}`
+		return &http.Response{
+			Status:        "500 Internal Server Error",
+			StatusCode:    http.StatusInternalServerError,
+			Proto:         req.Proto,
+			ProtoMajor:    req.ProtoMajor,
+			ProtoMinor:    req.ProtoMinor,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case KindLatency:
+		select {
+		case <-time.After(f.Latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || resp == nil {
+		return resp, err
+	}
+	switch f.Kind {
+	case KindDisconnect, KindCorrupt, KindTruncate:
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		switch f.Kind {
+		case KindDisconnect:
+			// The connection dies mid-body: half the bytes arrive,
+			// then the read errors like a peer reset would.
+			resp.Body = io.NopCloser(io.MultiReader(
+				bytes.NewReader(data[:len(data)/2]),
+				errReader{&FaultError{Class: ClassNet, Kind: KindDisconnect, Key: key}},
+			))
+		case KindCorrupt:
+			if len(data) > 0 {
+				data[hashBytes([]byte(key))%uint64(len(data))] = 0x00
+			}
+			resp.Body = io.NopCloser(bytes.NewReader(data))
+		case KindTruncate:
+			resp.Body = io.NopCloser(bytes.NewReader(data[:len(data)/2]))
+			resp.ContentLength = int64(len(data) / 2)
+		}
+	}
+	return resp, nil
+}
+
+// errReader fails every Read with the injected fault, wrapped so the
+// reader sees the canonical mid-body error and errors.As still finds
+// the *FaultError.
+type errReader struct{ fault *FaultError }
+
+func (r errReader) Read([]byte) (int, error) {
+	return 0, &unexpectedEOF{r.fault}
+}
+
+// unexpectedEOF is io.ErrUnexpectedEOF carrying its injected cause.
+type unexpectedEOF struct{ fault *FaultError }
+
+func (e *unexpectedEOF) Error() string { return io.ErrUnexpectedEOF.Error() + ": " + e.fault.Error() }
+func (e *unexpectedEOF) Unwrap() error { return e.fault }
+func (e *unexpectedEOF) Is(target error) bool {
+	return target == io.ErrUnexpectedEOF
+}

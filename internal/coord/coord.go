@@ -57,6 +57,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/remote"
+	"repro/internal/retry"
 	"repro/internal/store"
 )
 
@@ -121,6 +122,15 @@ type Config struct {
 	// remote.DefaultUnitTimeout.
 	UnitTimeout time.Duration
 
+	// Retry is the retry/backoff policy for dispatch failures and
+	// lease refreshes: a dispatch worker whose unit POST failed backs
+	// off under it before retrying (honoring a shedding backend's
+	// Retry-After), and lease refreshes that hit a briefly-unwritable
+	// store are retried under it instead of silently dropped.  The
+	// zero value means the retry package defaults; its Metrics field
+	// is resolved to the coordinator's own (see RetryStats).
+	Retry retry.Policy
+
 	// HTTPClient overrides the dispatch transport (tests).
 	HTTPClient *http.Client
 }
@@ -145,15 +155,16 @@ type Stats struct {
 // job is one locally-tracked job: its record, live counters, and —
 // when this coordinator owns the lease — its execution state.
 type job struct {
-	mu       sync.Mutex
-	rec      JobRecord
-	steals   uint64
-	lastCkpt time.Time
-	userStop bool // Cancel() was called, as opposed to Close()
-	owned    bool
-	cancel   context.CancelFunc
-	done     chan struct{} // closed when the run goroutine returns
-	result   *JobResult    // in-memory result tier (nil-store coordinators)
+	mu        sync.Mutex
+	rec       JobRecord
+	steals    uint64
+	lastCkpt  time.Time
+	userStop  bool // Cancel() was called, as opposed to Close()
+	leaseLost bool // ownership moved to a peer mid-run
+	owned     bool
+	cancel    context.CancelFunc
+	done      chan struct{} // closed when the run goroutine returns
+	result    *JobResult    // in-memory result tier (nil-store coordinators)
 }
 
 func (j *job) status() JobStatus {
@@ -184,9 +195,11 @@ func statusFrom(rec JobRecord, steals uint64) JobStatus {
 // Coordinator runs and tracks campaign jobs.  All methods are safe
 // for concurrent use.
 type Coordinator struct {
-	cfg   Config
-	httpc *http.Client
-	owner string // lease identity of this coordinator
+	cfg      Config
+	httpc    *http.Client
+	owner    string         // lease identity of this coordinator
+	retry    retry.Policy   // resolved dispatch/lease retry policy
+	rmetrics *retry.Metrics // retry outcome counters, see RetryStats
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -227,6 +240,12 @@ func New(cfg Config) *Coordinator {
 	if c.httpc == nil {
 		c.httpc = &http.Client{}
 	}
+	c.retry = cfg.Retry
+	c.rmetrics = c.retry.Metrics
+	if c.rmetrics == nil {
+		c.rmetrics = &retry.Metrics{}
+		c.retry.Metrics = c.rmetrics
+	}
 	c.ctx, c.cancel = context.WithCancel(context.Background())
 	return c
 }
@@ -245,6 +264,13 @@ func (c *Coordinator) Stats() Stats {
 		UnitsStolen:   c.stolen.Load(),
 		JobsResumed:   c.resumed.Load(),
 	}
+}
+
+// RetryStats snapshots the coordinator's retry-policy outcomes —
+// dispatch retries, backoff waits, give-ups — which the service
+// surfaces in /v1/metrics.
+func (c *Coordinator) RetryStats() retry.Snapshot {
+	return c.rmetrics.Snapshot()
 }
 
 // Submit registers the job for spec and starts it if this coordinator
@@ -566,7 +592,7 @@ func (c *Coordinator) start(j *job) {
 // shutdown, leaves it resumable.
 func (c *Coordinator) run(ctx context.Context, j *job) {
 	defer close(j.done)
-	stopBeat := c.keepLease(ctx, j.rec.ID)
+	stopBeat := c.keepLease(ctx, j)
 	defer stopBeat()
 
 	j.mu.Lock()
@@ -577,6 +603,7 @@ func (c *Coordinator) run(ctx context.Context, j *job) {
 	res, err := c.execute(ctx, j)
 
 	j.mu.Lock()
+	lost := j.leaseLost
 	switch {
 	case err == nil:
 		j.rec.State = StateDone
@@ -586,15 +613,25 @@ func (c *Coordinator) run(ctx context.Context, j *job) {
 		j.rec.State = StateCanceled
 		j.rec.Error = "canceled"
 	case ctx.Err() != nil && errors.Is(err, ctx.Err()):
-		// Coordinator shutdown (Close), not a failure: leave the
-		// record in state running — the resumable state — with the
-		// Done count advanced to the last completion.
+		// Coordinator shutdown (Close) or a lost lease, not a failure:
+		// leave the record in state running — the resumable state —
+		// with the Done count advanced to the last completion.
 	default:
 		j.rec.State = StateFailed
 		j.rec.Error = err.Error()
 	}
 	j.mu.Unlock()
 
+	if lost && err != nil {
+		// Ownership moved to a peer mid-run: the record and the lease
+		// are the new owner's now.  Persisting would clobber the
+		// peer's progress, and releaseLease would race its lease —
+		// this coordinator just walks away.  (A completed result is
+		// still booked above: the units were finished before the loss
+		// surfaced, and persist is last-writer-wins on identical
+		// content-addressed unit entries either way.)
+		return
+	}
 	c.persist(j)
 	c.releaseLease(j.rec.ID)
 }
@@ -768,6 +805,7 @@ func runUnits[U, R any](ctx context.Context, c *Coordinator, j *job, units []U, 
 						led.Release(ls)
 						return
 					}
+					c.rmetrics.Attempts.Inc()
 					res, err := remote.PostUnit[U, R](ctx, c.httpc, base+path, units[ls.Item], c.cfg.UnitTimeout)
 					if err != nil {
 						led.Release(ls)
@@ -776,6 +814,17 @@ func runUnits[U, R any](ctx context.Context, c *Coordinator, j *job, units []U, 
 							// Abandon this backend: its remaining
 							// units are stolen by peers or drained
 							// locally below.
+							c.rmetrics.GiveUps.Inc()
+							return
+						}
+						// Back off under the retry policy before the
+						// next lease — honoring the backend's
+						// Retry-After when it shed — instead of
+						// hammering a struggling node.
+						hint, _ := retry.AfterHint(err)
+						c.rmetrics.Retries.Inc()
+						if c.retry.Wait(ctx, failures, hint) != nil {
+							c.rmetrics.GiveUps.Inc()
 							return
 						}
 						continue
@@ -938,7 +987,7 @@ func (c *Coordinator) acquireLease(id string) (bool, error) {
 	if c.cfg.Store == nil {
 		return true, nil
 	}
-	key, err := leaseKey(id)
+	key, err := LeaseKey(id)
 	if err != nil {
 		return false, err
 	}
@@ -960,12 +1009,22 @@ func (c *Coordinator) acquireLease(id string) (bool, error) {
 }
 
 // keepLease refreshes a running job's lease at TTL/3 until the
-// returned stop function is called or ctx ends.
-func (c *Coordinator) keepLease(ctx context.Context, id string) (stop func()) {
+// returned stop function is called or ctx ends, and — the other half
+// of exactly-once — detects losing the lease.  Ownership is lost two
+// ways: a peer's live lease appears under the key (it took over after
+// ours expired), or refreshes keep failing past our own lease's
+// expiry (the store is unwritable, so a peer is free to take over any
+// moment — self-fence rather than risk two owners).  Either way the
+// job's context is canceled: in-flight units release their ledger
+// leases and the record is left resumable for the new owner, never
+// finalized by both sides.  Refresh failures inside the window are
+// retried under the coordinator's retry policy — a briefly-unwritable
+// store costs backoff waits, not the lease.
+func (c *Coordinator) keepLease(ctx context.Context, j *job) (stop func()) {
 	if c.cfg.Store == nil {
 		return func() {}
 	}
-	key, err := leaseKey(id)
+	key, err := LeaseKey(j.rec.ID)
 	if err != nil {
 		return func() {}
 	}
@@ -974,12 +1033,34 @@ func (c *Coordinator) keepLease(ctx context.Context, id string) (stop func()) {
 	go func() {
 		t := time.NewTicker(c.cfg.LeaseTTL / 3)
 		defer t.Stop()
+		deadline := time.Now().Add(c.cfg.LeaseTTL) // expiry of the lease as last written
 		for {
 			select {
 			case <-t.C:
-				store.PutJSON(c.cfg.Store, key, leaseRecord{
-					Owner: c.owner, Expires: time.Now().Add(c.cfg.LeaseTTL),
+				var cur leaseRecord
+				if store.GetJSON(c.cfg.Store, key, &cur) &&
+					cur.Owner != c.owner && time.Now().Before(cur.Expires) {
+					// A peer holds a live lease: ours expired and was
+					// taken over.  Stand down.
+					c.loseLease(j)
+					return
+				}
+				var next time.Time
+				err := c.retry.Do(ctx, func(context.Context) error {
+					next = time.Now().Add(c.cfg.LeaseTTL)
+					return store.PutJSON(c.cfg.Store, key, leaseRecord{Owner: c.owner, Expires: next})
 				})
+				switch {
+				case err == nil:
+					deadline = next
+				case ctx.Err() != nil:
+					return
+				case time.Now().After(deadline):
+					// Could not refresh before our own lease expired:
+					// assume a peer owns it now (or will momentarily).
+					c.loseLease(j)
+					return
+				}
 			case <-done:
 				return
 			case <-ctx.Done():
@@ -990,12 +1071,25 @@ func (c *Coordinator) keepLease(ctx context.Context, id string) (stop func()) {
 	return func() { once.Do(func() { close(done) }) }
 }
 
+// loseLease marks a job's ownership as lost and cancels its run:
+// better to halt and leave the record resumable than to keep
+// computing against a peer that now owns the job.
+func (c *Coordinator) loseLease(j *job) {
+	j.mu.Lock()
+	j.leaseLost = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
 // releaseLease deletes a job's lease if this coordinator holds it.
 func (c *Coordinator) releaseLease(id string) {
 	if c.cfg.Store == nil {
 		return
 	}
-	key, err := leaseKey(id)
+	key, err := LeaseKey(id)
 	if err != nil {
 		return
 	}

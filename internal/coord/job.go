@@ -204,8 +204,11 @@ func recordKey(id string) (string, error) {
 	return store.Key(jobNamespace, id)
 }
 
-// leaseKey returns the store key of a job's ownership lease.
-func leaseKey(id string) (string, error) {
+// LeaseKey returns the store key of a job's ownership lease.  It is
+// exported for tests that assert lease hygiene — a finished or
+// cleanly-lost job must leave no lease entry behind — and for fault
+// injectors that target lease writes specifically.
+func LeaseKey(id string) (string, error) {
 	return store.Key(jobLeaseNamespace, id)
 }
 

@@ -64,8 +64,10 @@ var LayerRules = []*LayerRule{
 			"repro/internal/engine",
 			"repro/internal/obs",
 			"repro/internal/coord",
+			"repro/internal/retry",
+			"repro/internal/chaos",
 		},
-		Why: "the simulator stack must stay a pure library: serving, distribution, persistence and telemetry layer above it",
+		Why: "the simulator stack must stay a pure library: serving, distribution, persistence, telemetry and fault injection layer above it",
 	},
 	{
 		Pkgs: []string{"repro/internal/core", "repro/internal/experiments"},
@@ -73,8 +75,33 @@ var LayerRules = []*LayerRule{
 			"repro/internal/service",
 			"repro/internal/remote",
 			"repro/internal/coord",
+			"repro/internal/retry",
+			"repro/internal/chaos",
 		},
-		Why: "the measurement/experiment layer is what the service serves; importing the service inverts the DAG",
+		Why: "the measurement/experiment layer is what the service serves; retry and chaos belong to the distribution layers above it",
+	},
+	{
+		Pkgs: []string{"repro/internal/retry"},
+		Deny: []string{
+			"repro/internal/service",
+			"repro/internal/remote",
+			"repro/internal/store",
+			"repro/internal/coord",
+			"repro/internal/core",
+			"repro/internal/experiments",
+			"repro/internal/engine",
+			"repro/internal/chaos",
+			"repro/internal/fx8",
+			"repro/internal/concentrix",
+			"repro/internal/monitor",
+			"repro/internal/workload",
+		},
+		Why: "retry is the one backoff policy remote and coord share; it must stay a near-leaf (fastrand + obs only) or the DAG cycles",
+	},
+	{
+		Pkgs: []string{"repro/internal/chaos"},
+		Deny: []string{"repro/internal/service"},
+		Why:  "chaos injects faults at the transport, disk and process seams; it may import those seams (remote, store, coord) but never the service that fronts them",
 	},
 	{
 		Pkgs: []string{"repro/internal/coord"},

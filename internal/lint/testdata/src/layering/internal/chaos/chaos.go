@@ -1,0 +1,12 @@
+// Package chaos mirrors the real fault injector: it may import the
+// seams it wraps (the store import below is legal and must produce no
+// diagnostic) but never the service that fronts them.
+package chaos
+
+import (
+	"repro/internal/service" // want "repro/internal/chaos must not depend on repro/internal/service"
+	"repro/internal/store"
+)
+
+// Uses keeps both imports live.
+const Uses = store.Kind + service.Kind

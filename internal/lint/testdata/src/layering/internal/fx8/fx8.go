@@ -3,7 +3,10 @@
 // must still catch and explain with the shortest chain.
 package fx8
 
-import "repro/internal/mid" // want "repro/internal/fx8 must not depend on repro/internal/store"
+import (
+	"repro/internal/mid"   // want "repro/internal/fx8 must not depend on repro/internal/store"
+	"repro/internal/retry" // want "repro/internal/fx8 must not depend on repro/internal/retry"
+)
 
-// Uses keeps the import live.
-const Uses = mid.Via
+// Uses keeps the imports live.
+const Uses = mid.Via + retry.Uses

@@ -1,0 +1,9 @@
+// Package retry mirrors the real backoff policy, which must stay a
+// near-leaf (fastrand + obs only): pulling in a seam it is meant to
+// sit below — here the store — cycles the DAG.
+package retry
+
+import "repro/internal/store" // want "repro/internal/retry must not depend on repro/internal/store"
+
+// Uses keeps the import live.
+const Uses = store.Kind

@@ -1,0 +1,6 @@
+// Package service stands in for the real HTTP daemon: the layer
+// nothing below it — coordinator, retry, chaos — may ever import.
+package service
+
+// Kind identifies the fixture package in diagnostics.
+const Kind = "service"

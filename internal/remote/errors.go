@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/retry"
 )
 
 // ErrorResponse is the service's unified error envelope: every
@@ -120,6 +121,13 @@ func PostUnit[U, R any](ctx context.Context, httpc *http.Client, url string, uni
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return zero, fmt.Errorf("remote: %s: reading response: %w", url, err)
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// A shed: surface the advertised Retry-After as a hint so the
+		// caller's retry policy waits the server's interval instead of
+		// re-entering the queue it was just shed from.
+		err := fmt.Errorf("remote: %s: %s: %s", url, resp.Status, errorBody(body))
+		return zero, retry.WithAfter(err, parseRetryAfter(resp.Header.Get("Retry-After")))
 	}
 	if resp.StatusCode != http.StatusOK {
 		return zero, fmt.Errorf("remote: %s: %s: %s", url, resp.Status, errorBody(body))

@@ -3,6 +3,8 @@ package remote
 import (
 	"net/http"
 	"time"
+
+	"repro/internal/retry"
 )
 
 // BackendSource supplies the current fleet membership: Snapshot
@@ -79,4 +81,11 @@ func WithMaxFailures(n int) Option {
 // WithHTTPClient overrides the transport (tests, custom timeouts).
 func WithHTTPClient(h *http.Client) Option {
 	return func(c *Config) { c.HTTPClient = h }
+}
+
+// WithRetry sets the retry/backoff policy governing shed-induced
+// backoff rounds and the per-attempt timeout.  The zero Policy keeps
+// the retry package defaults.
+func WithRetry(p retry.Policy) Option {
+	return func(c *Config) { c.Retry = p }
 }

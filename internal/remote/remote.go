@@ -55,12 +55,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/retry"
 )
 
 // Paths of the fx8d unit-execution endpoints, shared with
@@ -117,6 +119,17 @@ type Config struct {
 	// BatchPath is set.  0 means DefaultBatchUnits.
 	BatchUnits int
 
+	// Retry is the retry/backoff policy for units no backend could
+	// serve on the first pass: when live backends are merely shedding
+	// (429 + Retry-After) rather than failing, the client backs off
+	// under this policy and retries the unit instead of falling back
+	// to local compute.  The policy's PerAttempt, when set, overrides
+	// UnitTimeout as the per-attempt bound; its Metrics field, when
+	// set, receives every retry outcome (otherwise the client books
+	// into its own, visible via Stats).  The zero value means the
+	// retry package defaults.
+	Retry retry.Policy
+
 	// Registry, when set, makes fleet membership dynamic: its
 	// Snapshot is re-read before every unit or batch and replaces the
 	// backend list, so workers registered via POST /v1/backends/
@@ -140,6 +153,23 @@ type backend struct {
 	dead     atomic.Bool
 	noBatch  atomic.Bool    // batch endpoint absent (version skew)
 	lat      *obs.Histogram // per-attempt request latency
+
+	// backoffUntil is the UnixNano deadline of a shed-induced backoff:
+	// a backend that answered 429 + Retry-After is overloaded, not
+	// sick, so instead of counting failures toward quarantine the
+	// client stops routing units to it until the advertised interval
+	// has passed.
+	backoffUntil atomic.Int64
+}
+
+// inBackoff reports whether the backend is inside a shed-induced
+// backoff window.
+func (b *backend) inBackoff(now int64) bool { return b.backoffUntil.Load() > now }
+
+// shed books a 429 + Retry-After response: back off for the
+// advertised interval.
+func (b *backend) shed(after time.Duration) {
+	b.backoffUntil.Store(time.Now().Add(after).UnixNano())
 }
 
 // fail books one failed attempt, reporting whether this failure is
@@ -165,6 +195,8 @@ type Client[U, R any] struct {
 	cfg      Config
 	fallback func(U) (R, error)
 	httpc    *http.Client
+	retry    retry.Policy   // resolved policy (metrics attached)
+	rmetrics *retry.Metrics // retry outcome counters, snapshotted by Stats
 
 	// Membership.  The backends slice is replaced wholesale under mu
 	// on every registry refresh and never mutated in place, so view()
@@ -201,6 +233,15 @@ func NewClient[U, R any](cfg Config, fallback func(U) (R, error)) *Client[U, R] 
 	}
 	c := &Client[U, R]{cfg: cfg, fallback: fallback, httpc: cfg.HTTPClient,
 		byAddr: make(map[string]*backend)}
+	c.retry = cfg.Retry
+	if c.retry.PerAttempt <= 0 {
+		c.retry.PerAttempt = cfg.UnitTimeout
+	}
+	c.rmetrics = c.retry.Metrics
+	if c.rmetrics == nil {
+		c.rmetrics = &retry.Metrics{}
+		c.retry.Metrics = c.rmetrics
+	}
 	if c.httpc == nil {
 		c.httpc = &http.Client{}
 	}
@@ -301,10 +342,14 @@ func (c *Client[U, R]) Concurrency(requested int) int {
 }
 
 // RunUnit implements engine.Runner: it executes one unit on the
-// fleet, rerouting on failure and hedging slow attempts, and falls
-// back to local compute when no backend answers.  The only errors it
-// returns are the context's — a unit outcome is otherwise always
-// produced.
+// fleet, rerouting on failure and hedging slow attempts.  A round
+// that exhausts every backend without an answer ends one of two ways:
+// when some live backend is merely shedding (429 + Retry-After), the
+// client backs off under its retry policy — honoring the advertised
+// interval — and runs another round; when backends are dead or
+// failing outright, the unit falls back to local compute so work is
+// never lost.  The only errors it returns are the context's — a unit
+// outcome is otherwise always produced.
 func (c *Client[U, R]) RunUnit(ctx context.Context, unit U) (R, error) {
 	var zero R
 	payload, err := json.Marshal(unit)
@@ -317,14 +362,57 @@ func (c *Client[U, R]) RunUnit(ctx context.Context, unit U) (R, error) {
 	c.refresh()
 	backends := c.view()
 
+	maxRounds := c.retry.MaxAttempts
+	if maxRounds == 0 {
+		maxRounds = retry.DefaultMaxAttempts
+	}
+	for round := 1; ; round++ {
+		res, done, err := c.runRound(ctx, backends, payload)
+		if done {
+			return res, err
+		}
+		// The round exhausted every live backend without an answer.
+		// If any of them is merely backing off after a shed, the unit
+		// is still servable: wait out the shortest backoff under the
+		// policy and go again.  Otherwise (dead, failing, or none
+		// configured) fall through to local compute.
+		hint, shedding := c.soonestBackoff(backends)
+		if !shedding || round >= maxRounds {
+			break
+		}
+		c.rmetrics.Retries.Inc()
+		if err := c.retry.Wait(ctx, round, hint); err != nil {
+			return zero, err
+		}
+	}
+
+	if ctx.Err() != nil {
+		return zero, ctx.Err()
+	}
+	// Giving up on the fleet for this unit; local compute still
+	// produces the answer.
+	c.rmetrics.GiveUps.Inc()
+	c.fallbackN.Add(1)
+	return c.fallback(unit)
+}
+
+// runRound runs one full pass of the launch/reroute/hedge machinery
+// over the pinned membership.  done reports a definitive outcome (a
+// result or a context error); !done means every live backend was
+// tried or skipped and the caller decides between another round and
+// local fallback.
+func (c *Client[U, R]) runRound(ctx context.Context, backends []*backend, payload []byte) (res R, done bool, err error) {
+	var zero R
+
 	// unitCtx cancels the losers once any attempt wins.
 	unitCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	type attempt struct {
-		res R
-		err error
-		b   *backend
+		res    R
+		err    error
+		status int
+		b      *backend
 	}
 	results := make(chan attempt, len(backends)) // attempts never block on send
 	tried := make(map[*backend]bool, len(backends))
@@ -359,10 +447,11 @@ func (c *Client[U, R]) RunUnit(ctx context.Context, unit U) (R, error) {
 		tried[b] = true
 		inFlight++
 		b.inflight.Add(1)
+		c.rmetrics.Attempts.Inc()
 		go func() {
-			res, err := c.post(unitCtx, b, b.url, payload)
+			res, status, err := c.post(unitCtx, b, b.url, payload)
 			b.inflight.Add(-1)
-			results <- attempt{res, err, b}
+			results <- attempt{res, err, status, b}
 		}()
 		disarm()
 		hedge = time.NewTimer(c.cfg.HedgeAfter)
@@ -377,19 +466,24 @@ func (c *Client[U, R]) RunUnit(ctx context.Context, unit U) (R, error) {
 			inFlight--
 			if a.err == nil {
 				a.b.ok()
-				return a.res, nil
+				return a.res, true, nil
 			}
-			if unitCtx.Err() == nil {
-				// A real failure, not an attempt we canceled.
+			if unitCtx.Err() == nil && a.status != http.StatusTooManyRequests {
+				// A real failure, not an attempt we canceled and not a
+				// shed: a shedding backend is overloaded, not sick —
+				// postRaw already booked its Retry-After backoff, and
+				// counting it toward quarantine would amplify the
+				// overload into an outage.
 				if a.b.fail(c.cfg.MaxFailures) {
 					c.quarantineN.Add(1)
 				}
 			}
 			if ctx.Err() != nil {
-				return zero, ctx.Err()
+				return zero, true, ctx.Err()
 			}
 			if launch() { // reroute to the next backend, if any
 				c.rerouteN.Add(1)
+				c.rmetrics.Retries.Inc()
 			} else {
 				// Nothing left to launch, ever: hedging is over.
 				disarm()
@@ -404,17 +498,30 @@ func (c *Client[U, R]) RunUnit(ctx context.Context, unit U) (R, error) {
 				disarm()
 			}
 		case <-ctx.Done():
-			return zero, ctx.Err()
+			return zero, true, ctx.Err()
 		}
 	}
+	return zero, false, nil
+}
 
-	// Every backend is dead, was tried and failed, or none was
-	// configured: compute the unit locally so work is never lost.
-	if ctx.Err() != nil {
-		return zero, ctx.Err()
+// soonestBackoff reports whether any live backend is inside a
+// shed-induced backoff window, and if so the shortest remaining wait
+// — the Retry-After hint for the next round.
+func (c *Client[U, R]) soonestBackoff(backends []*backend) (time.Duration, bool) {
+	now := time.Now().UnixNano()
+	var best int64
+	for _, b := range backends {
+		if b.dead.Load() {
+			continue
+		}
+		if until := b.backoffUntil.Load(); until > now && (best == 0 || until < best) {
+			best = until
+		}
 	}
-	c.fallbackN.Add(1)
-	return c.fallback(unit)
+	if best == 0 {
+		return 0, false
+	}
+	return time.Duration(best - now), true
 }
 
 // BatchUnits implements engine.BatchRunner's sizing half: batching is
@@ -475,6 +582,12 @@ func (c *Client[U, R]) RunBatch(ctx context.Context, units []U) ([]R, error) {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
+			if status == http.StatusTooManyRequests {
+				// Shedding, not sick: the backoff is already booked;
+				// the per-unit degrade path below waits it out.
+				failed++
+				continue
+			}
 			if b.fail(c.cfg.MaxFailures) {
 				c.quarantineN.Add(1)
 			}
@@ -523,11 +636,12 @@ func (c *Client[U, R]) pickBatch(backends []*backend, tried map[*backend]bool) *
 		return nil
 	}
 	start := int(c.rr.Add(1) % uint64(n))
+	now := time.Now().UnixNano()
 	var best *backend
 	var bestLoad int64
 	for i := 0; i < n; i++ {
 		b := backends[(start+i)%n]
-		if tried[b] || b.dead.Load() || b.noBatch.Load() || b.batchURL == "" {
+		if tried[b] || b.dead.Load() || b.noBatch.Load() || b.batchURL == "" || b.inBackoff(now) {
 			continue
 		}
 		if load := b.inflight.Load(); best == nil || load < bestLoad {
@@ -549,11 +663,12 @@ func (c *Client[U, R]) pick(backends []*backend, tried map[*backend]bool) *backe
 	// goes negative, making (start+i)%n a negative — panicking —
 	// index.
 	start := int(c.rr.Add(1) % uint64(n))
+	now := time.Now().UnixNano()
 	var best *backend
 	var bestLoad int64
 	for i := 0; i < n; i++ {
 		b := backends[(start+i)%n]
-		if tried[b] || b.dead.Load() {
+		if tried[b] || b.dead.Load() || b.inBackoff(now) {
 			continue
 		}
 		if load := b.inflight.Load(); best == nil || load < bestLoad {
@@ -564,18 +679,19 @@ func (c *Client[U, R]) pick(backends []*backend, tried map[*backend]bool) *backe
 }
 
 // post runs one attempt of one unit's payload on one backend
-// endpoint.
-func (c *Client[U, R]) post(ctx context.Context, b *backend, url string, payload []byte) (R, error) {
+// endpoint, returning the HTTP status alongside the decoded result so
+// the scheduler can tell a shed (429) from a failure.
+func (c *Client[U, R]) post(ctx context.Context, b *backend, url string, payload []byte) (R, int, error) {
 	var zero R
-	body, _, err := c.postRaw(ctx, b, url, payload)
+	body, status, err := c.postRaw(ctx, b, url, payload)
 	if err != nil {
-		return zero, err
+		return zero, status, err
 	}
 	var out R
 	if err := json.Unmarshal(body, &out); err != nil {
-		return zero, fmt.Errorf("remote: %s: decoding result: %w", b.addr, err)
+		return zero, status, fmt.Errorf("remote: %s: decoding result: %w", b.addr, err)
 	}
-	return out, nil
+	return out, status, nil
 }
 
 // postRaw POSTs one JSON payload to one backend endpoint and returns
@@ -583,7 +699,11 @@ func (c *Client[U, R]) post(ctx context.Context, b *backend, url string, payload
 // status code, so callers can distinguish an absent endpoint (404 on
 // the batch path of an older daemon) from a failing backend.
 func (c *Client[U, R]) postRaw(ctx context.Context, b *backend, url string, payload []byte) ([]byte, int, error) {
-	ctx, cancel := context.WithTimeout(ctx, c.cfg.UnitTimeout)
+	perAttempt := c.retry.PerAttempt
+	if perAttempt <= 0 {
+		perAttempt = c.cfg.UnitTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, perAttempt)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
 	if err != nil {
@@ -604,10 +724,29 @@ func (c *Client[U, R]) postRaw(ctx context.Context, b *backend, url string, payl
 	if err != nil {
 		return nil, resp.StatusCode, fmt.Errorf("remote: %s: reading response: %w", b.addr, err)
 	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// The backend is shedding load and advertising when to come
+		// back: honor it.  Routing more units at it inside the window
+		// would only re-enter the queue it just shed from.
+		after := parseRetryAfter(resp.Header.Get("Retry-After"))
+		b.shed(after)
+		err := fmt.Errorf("remote: %s: %s: %s", b.addr, resp.Status, errorBody(body))
+		return nil, resp.StatusCode, retry.WithAfter(err, after)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, resp.StatusCode, fmt.Errorf("remote: %s: %s: %s", b.addr, resp.Status, errorBody(body))
 	}
 	return body, resp.StatusCode, nil
+}
+
+// parseRetryAfter reads an integer-seconds Retry-After header value;
+// absent or unparsable values mean one second, the interval fx8d's
+// admission control advertises.
+func parseRetryAfter(v string) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return time.Second
 }
 
 // BackendStats is one backend's share of a client's work.
@@ -636,6 +775,10 @@ type Stats struct {
 	Batches     uint64
 	Reroutes    uint64
 	Quarantines uint64
+
+	// Retry snapshots the client's retry-policy outcomes: attempts,
+	// retries, give-ups, and backoff waits.
+	Retry retry.Snapshot
 }
 
 // Stats returns a snapshot of the client's scheduling outcomes.
@@ -646,6 +789,7 @@ func (c *Client[U, R]) Stats() Stats {
 		Batches:     c.batchN.Load(),
 		Reroutes:    c.rerouteN.Load(),
 		Quarantines: c.quarantineN.Load(),
+		Retry:       c.rmetrics.Snapshot(),
 	}
 	for _, b := range c.view() {
 		p50, p95, p99 := b.lat.Snapshot().Quantiles()

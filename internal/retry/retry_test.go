@@ -1,0 +1,218 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// noSleep makes Do/Wait instantaneous while still honoring ctx.
+func noSleep(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+func TestDelayDeterministicAndCapped(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Seed: 42}
+	for attempt := 1; attempt <= 10; attempt++ {
+		d1 := p.Delay(attempt)
+		d2 := p.Delay(attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: Delay not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		base := 10 * time.Millisecond << (attempt - 1)
+		if base > 80*time.Millisecond {
+			base = 80 * time.Millisecond
+		}
+		if d1 < base/2 || d1 > base {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d1, base/2, base)
+		}
+	}
+	if got := p.Delay(100); got > 80*time.Millisecond {
+		t.Fatalf("delay %v exceeds cap despite huge attempt", got)
+	}
+}
+
+func TestDelaySeedChangesJitter(t *testing.T) {
+	a := Policy{BaseDelay: time.Second, Seed: 1}
+	b := Policy{BaseDelay: time.Second, Seed: 2}
+	same := 0
+	for attempt := 1; attempt <= 8; attempt++ {
+		if a.Delay(attempt) == b.Delay(attempt) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("different seeds produced identical jitter at every attempt")
+	}
+}
+
+func TestDoSucceedsAfterRetries(t *testing.T) {
+	var m Metrics
+	p := Policy{MaxAttempts: 5, Sleep: noSleep, Metrics: &m}
+	calls := 0
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	s := m.Snapshot()
+	if s.Attempts != 3 || s.Retries != 2 || s.GiveUps != 0 || s.BackoffWaits != 2 {
+		t.Fatalf("metrics = %+v", s)
+	}
+}
+
+func TestDoGivesUpAtMaxAttempts(t *testing.T) {
+	var m Metrics
+	p := Policy{MaxAttempts: 3, Sleep: noSleep, Metrics: &m}
+	calls := 0
+	sentinel := errors.New("still broken")
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if s := m.Snapshot(); s.GiveUps != 1 {
+		t.Fatalf("give_ups = %d, want 1", s.GiveUps)
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	p := Policy{MaxAttempts: 5, Sleep: noSleep}
+	calls := 0
+	base := errors.New("bad config")
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		return Permanent(base)
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (permanent must not retry)", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("err = %v, want wrapped %v", err, base)
+	}
+	if !IsPermanent(err) {
+		t.Fatal("IsPermanent lost through return")
+	}
+}
+
+func TestDoStopsOnContextCancel(t *testing.T) {
+	p := Policy{MaxAttempts: 100, Sleep: noSleep}
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := p.Do(ctx, func(ctx context.Context) error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return errors.New("transient")
+	})
+	if err == nil {
+		t.Fatal("Do succeeded after cancel")
+	}
+	if calls > 3 {
+		t.Fatalf("calls = %d after cancel, want <= 3", calls)
+	}
+}
+
+func TestDoHonorsBudget(t *testing.T) {
+	p := Policy{MaxAttempts: 1000, Budget: time.Nanosecond, Sleep: noSleep}
+	calls := 0
+	p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		time.Sleep(time.Millisecond)
+		return errors.New("transient")
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (budget exhausted after first attempt)", calls)
+	}
+}
+
+func TestDoPerAttemptTimeout(t *testing.T) {
+	p := Policy{MaxAttempts: 2, PerAttempt: 5 * time.Millisecond, Sleep: noSleep}
+	calls := 0
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (per-attempt timeout is retryable)", calls)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestWaitUsesAfterHint(t *testing.T) {
+	var waited time.Duration
+	p := Policy{
+		BaseDelay: time.Hour, // would dominate if the hint were ignored
+		MaxDelay:  time.Hour,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			waited = d
+			return nil
+		},
+	}
+	hint, ok := AfterHint(WithAfter(errors.New("shed"), 123*time.Millisecond))
+	if !ok || hint != 123*time.Millisecond {
+		t.Fatalf("AfterHint = %v, %v", hint, ok)
+	}
+	if err := p.Wait(context.Background(), 1, hint); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if waited != 123*time.Millisecond {
+		t.Fatalf("waited %v, want the 123ms hint", waited)
+	}
+}
+
+func TestWaitCapsHintAtMaxDelay(t *testing.T) {
+	var waited time.Duration
+	p := Policy{
+		MaxDelay: 50 * time.Millisecond,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			waited = d
+			return nil
+		},
+	}
+	p.Wait(context.Background(), 1, time.Hour)
+	if waited != 50*time.Millisecond {
+		t.Fatalf("waited %v, want MaxDelay cap 50ms", waited)
+	}
+}
+
+func TestAfterHintAbsent(t *testing.T) {
+	if _, ok := AfterHint(errors.New("plain")); ok {
+		t.Fatal("AfterHint found a hint on a plain error")
+	}
+	if _, ok := AfterHint(nil); ok {
+		t.Fatal("AfterHint found a hint on nil")
+	}
+}
+
+func TestNilWrappersPassThroughNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+	if WithAfter(nil, time.Second) != nil {
+		t.Fatal("WithAfter(nil) != nil")
+	}
+}
+
+func TestNilMetricsSnapshot(t *testing.T) {
+	var m *Metrics
+	if s := m.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("nil snapshot = %+v, want zero", s)
+	}
+}

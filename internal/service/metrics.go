@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/retry"
 	"repro/internal/store"
 )
 
@@ -153,6 +154,28 @@ func (s *Server) registerProcess() {
 			"Total bytes of store entries on disk.", nil,
 			func() float64 { _, bytes := st.Disk(); return float64(bytes) })
 	}
+
+	if c := s.coord; c != nil {
+		for _, row := range []struct {
+			name, help string
+			fn         func(retry.Snapshot) float64
+		}{
+			{"fx8d_retry_attempts_total", "Operation launches under the coordinator's retry policy.",
+				func(rs retry.Snapshot) float64 { return float64(rs.Attempts) }},
+			{"fx8d_retry_retries_total", "Relaunches after a retryable failure.",
+				func(rs retry.Snapshot) float64 { return float64(rs.Retries) }},
+			{"fx8d_retry_giveups_total", "Operations abandoned after exhausting the retry policy.",
+				func(rs retry.Snapshot) float64 { return float64(rs.GiveUps) }},
+			{"fx8d_retry_backoff_waits_total", "Backoff sleeps taken between retry attempts.",
+				func(rs retry.Snapshot) float64 { return float64(rs.BackoffWaits) }},
+			{"fx8d_retry_backoff_seconds_total", "Cumulative time spent in backoff waits.",
+				func(rs retry.Snapshot) float64 { return rs.BackoffSecs }},
+		} {
+			fn := row.fn
+			reg.CounterFunc(row.name, row.help, nil,
+				func() float64 { return fn(c.RetryStats()) })
+		}
+	}
 }
 
 // EndpointMetrics is one endpoint's row in the /v1/metrics body.
@@ -191,6 +214,10 @@ type MetricsResponse struct {
 	Cache     core.CacheStats   `json:"cache"`
 	Store     *store.Stats      `json:"store,omitempty"`
 	Engine    EngineMetrics     `json:"engine"`
+
+	// Retry snapshots the coordinator's retry-policy outcomes —
+	// attempts, retries, give-ups, backoff waits (see internal/retry).
+	Retry *retry.Snapshot `json:"retry,omitempty"`
 }
 
 const msPerNs = 1e-6
@@ -237,6 +264,10 @@ func (s *Server) metricsSnapshot() MetricsResponse {
 	if st := s.cache.Store(); st != nil {
 		stats := st.Stats()
 		resp.Store = &stats
+	}
+	if s.coord != nil {
+		rs := s.coord.RetryStats()
+		resp.Retry = &rs
 	}
 	return resp
 }

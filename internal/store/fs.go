@@ -1,0 +1,78 @@
+package store
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS is the store's seam to the filesystem: every file operation a
+// Store performs goes through one FS.  The default is the real
+// filesystem (OS); internal/chaos substitutes a fault-injecting
+// implementation so disk failures — write errors, short writes,
+// bit-flip corruption, eviction under a reader — can be scheduled
+// deterministically in tests.  Implementations must be safe for
+// concurrent use, like the os package calls they stand in for.
+type FS interface {
+	// MkdirAll creates a directory path along with any missing
+	// parents, like os.MkdirAll.
+	MkdirAll(path string, perm fs.FileMode) error
+
+	// CreateTemp creates a new temporary file in dir whose name is
+	// built from pattern, like os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+
+	// ReadFile returns the named file's contents, like os.ReadFile.
+	ReadFile(name string) ([]byte, error)
+
+	// Rename atomically moves oldpath to newpath, like os.Rename.
+	Rename(oldpath, newpath string) error
+
+	// Link creates newpath as a hard link to oldpath, failing with
+	// fs.ErrExist when newpath exists, like os.Link.
+	Link(oldpath, newpath string) error
+
+	// Remove deletes the named file, like os.Remove.
+	Remove(name string) error
+
+	// ReadDir lists the named directory, like os.ReadDir.
+	ReadDir(name string) ([]fs.DirEntry, error)
+
+	// Stat describes the named file, like os.Stat.
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// File is the writable handle CreateTemp returns — the subset of
+// *os.File the store uses.
+type File interface {
+	io.Writer
+
+	// Name returns the file's path, like (*os.File).Name.
+	Name() string
+
+	// Close flushes and closes the file, like (*os.File).Close.
+	Close() error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OS returns the default FS: the real filesystem via the os package.
+// Fault-injecting filesystems wrap this as their base.
+func OS() FS { return osFS{} }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Link(oldpath, newpath string) error           { return os.Link(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -22,7 +22,6 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -76,6 +75,7 @@ type Stats struct {
 type Store struct {
 	dir      string
 	maxBytes int64
+	fs       FS
 
 	mu sync.Mutex // serializes size-bound enforcement and Purge
 
@@ -92,6 +92,17 @@ func WithMaxBytes(n int64) Option {
 	return func(s *Store) { s.maxBytes = n }
 }
 
+// WithFS substitutes the filesystem every store operation goes
+// through — the fault-injection seam.  nil means the real filesystem
+// (the default).
+func WithFS(fsys FS) Option {
+	return func(s *Store) {
+		if fsys != nil {
+			s.fs = fsys
+		}
+	}
+}
+
 // Open creates (if needed) and validates the store directory,
 // returning a Store rooted there.  It probes for writability so
 // misconfigured cache directories fail at startup, not mid-campaign.
@@ -99,19 +110,19 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("store: empty directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	s := &Store{dir: dir, fs: OS()}
+	for _, o := range opts {
+		o(s)
+	}
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
-	probe, err := os.CreateTemp(dir, ".probe-*")
+	probe, err := s.fs.CreateTemp(dir, ".probe-*")
 	if err != nil {
 		return nil, fmt.Errorf("store: %s not writable: %w", dir, err)
 	}
 	probe.Close()
-	os.Remove(probe.Name())
-	s := &Store{dir: dir}
-	for _, o := range opts {
-		o(s)
-	}
+	s.fs.Remove(probe.Name())
 	return s, nil
 }
 
@@ -138,7 +149,7 @@ func (s *Store) path(key string) string {
 // version — reports ok == false, after removing the defective file so
 // the next Put rewrites it; callers recompute and Put.
 func (s *Store) Get(key string) (data []byte, ok bool) {
-	raw, err := os.ReadFile(s.path(key))
+	raw, err := s.fs.ReadFile(s.path(key))
 	if err != nil {
 		s.misses.Add(1)
 		return nil, false
@@ -146,7 +157,7 @@ func (s *Store) Get(key string) (data []byte, ok bool) {
 	payload, err := decodeEntry(raw)
 	if err != nil {
 		s.corrupt.Add(1)
-		removeIfUnchanged(s.path(key), raw)
+		s.removeIfUnchanged(s.path(key), raw)
 		return nil, false
 	}
 	s.hits.Add(1)
@@ -159,10 +170,10 @@ func (s *Store) Get(key string) (data []byte, ok bool) {
 // the re-read and the remove, but it requires a rename inside that
 // microsecond window against content that was defective moments
 // before; the caller recomputes and rewrites either way.)
-func removeIfUnchanged(path string, seen []byte) {
-	cur, err := os.ReadFile(path)
+func (s *Store) removeIfUnchanged(path string, seen []byte) {
+	cur, err := s.fs.ReadFile(path)
 	if err == nil && bytes.Equal(cur, seen) {
-		os.Remove(path)
+		s.fs.Remove(path)
 	}
 }
 
@@ -200,7 +211,7 @@ func decodeEntry(raw []byte) ([]byte, error) {
 // validating it — a cheap presence probe; a defective entry still
 // reads as a miss on Get.
 func (s *Store) Has(key string) bool {
-	_, err := os.Stat(s.path(key))
+	_, err := s.fs.Stat(s.path(key))
 	return err == nil
 }
 
@@ -218,11 +229,11 @@ func encodeEntry(data []byte) []byte {
 // concurrent Get sees either the previous entry or the complete new
 // one, never a partial write.
 func (s *Store) Put(key string, data []byte) error {
-	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	tmp, err := s.fs.CreateTemp(s.dir, ".put-*")
 	if err != nil {
 		return fmt.Errorf("store: creating temp entry: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer s.fs.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(encodeEntry(data)); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: writing entry: %w", err)
@@ -230,7 +241,7 @@ func (s *Store) Put(key string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: closing entry: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+	if err := s.fs.Rename(tmp.Name(), s.path(key)); err != nil {
 		return fmt.Errorf("store: publishing entry: %w", err)
 	}
 	s.writes.Add(1)
@@ -247,11 +258,11 @@ func (s *Store) Put(key string, data []byte) error {
 // the coordinator leases job ownership by claiming a lease key and
 // Delete-ing it on release.
 func (s *Store) Claim(key string, data []byte) (won bool, err error) {
-	tmp, err := os.CreateTemp(s.dir, ".claim-*")
+	tmp, err := s.fs.CreateTemp(s.dir, ".claim-*")
 	if err != nil {
 		return false, fmt.Errorf("store: creating temp claim: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer s.fs.Remove(tmp.Name())
 	if _, err := tmp.Write(encodeEntry(data)); err != nil {
 		tmp.Close()
 		return false, fmt.Errorf("store: writing claim: %w", err)
@@ -259,7 +270,7 @@ func (s *Store) Claim(key string, data []byte) (won bool, err error) {
 	if err := tmp.Close(); err != nil {
 		return false, fmt.Errorf("store: closing claim: %w", err)
 	}
-	if err := os.Link(tmp.Name(), s.path(key)); err != nil {
+	if err := s.fs.Link(tmp.Name(), s.path(key)); err != nil {
 		if errors.Is(err, fs.ErrExist) {
 			return false, nil
 		}
@@ -272,7 +283,7 @@ func (s *Store) Claim(key string, data []byte) (won bool, err error) {
 // Delete removes the entry under key.  A missing entry is not an
 // error; any other failure is reported.
 func (s *Store) Delete(key string) error {
-	if err := os.Remove(s.path(key)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+	if err := s.fs.Remove(s.path(key)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("store: deleting entry: %w", err)
 	}
 	return nil
@@ -290,7 +301,7 @@ func (s *Store) enforceBound() error {
 		return err
 	}
 	for i := 0; total > s.maxBytes && i < len(entries); i++ {
-		if err := os.Remove(entries[i].path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		if err := s.fs.Remove(entries[i].path); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			return fmt.Errorf("store: evicting %s: %w", entries[i].path, err)
 		}
 		total -= entries[i].size
@@ -308,7 +319,7 @@ type entryInfo struct {
 // scan lists the store's entries sorted oldest first and their total
 // size.
 func (s *Store) scan() ([]entryInfo, int64, error) {
-	dirents, err := os.ReadDir(s.dir)
+	dirents, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, 0, fmt.Errorf("store: scanning %s: %w", s.dir, err)
 	}
@@ -363,7 +374,7 @@ func (s *Store) Purge() error {
 		return err
 	}
 	for _, e := range entries {
-		if err := os.Remove(e.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		if err := s.fs.Remove(e.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			return fmt.Errorf("store: purging %s: %w", e.path, err)
 		}
 	}
@@ -387,7 +398,7 @@ func GetJSON[T any](s *Store, key string, out *T) bool {
 		// framing is deterministic, so guard the removal against a
 		// concurrent rewrite the same way Get does.
 		s.corrupt.Add(1)
-		removeIfUnchanged(s.path(key), encodeEntry(data))
+		s.removeIfUnchanged(s.path(key), encodeEntry(data))
 		return false
 	}
 	return true
